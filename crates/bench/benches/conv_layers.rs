@@ -1,0 +1,40 @@
+//! Per-layer dispatch benchmark (the harness cost behind Figs. 2, 4, 8,
+//! 9): simulated execution of Table-5 conv layers under naive,
+//! fixed-stream and GLP4NN dispatch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glp4nn_bench::{conv_forward_glp4nn_ns, conv_forward_ns, workloads_for};
+use gpu_sim::DeviceProps;
+use nn::DispatchMode;
+
+fn bench_conv_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv_dispatch");
+    g.sample_size(20);
+    // One representative layer per network; small batches keep criterion
+    // iterations fast while preserving per-sample kernel shapes.
+    let mut picks = vec![
+        workloads_for("CIFAR10")[1],
+        workloads_for("Siamese")[1],
+        workloads_for("CaffeNet")[2],
+        workloads_for("GoogLeNet")[0],
+    ];
+    for w in &mut picks {
+        w.batch = w.batch.min(32);
+    }
+    for w in picks {
+        let label = format!("{}_{}", w.net, w.layer);
+        g.bench_function(BenchmarkId::new("naive", &label), |b| {
+            b.iter(|| conv_forward_ns(DeviceProps::p100(), DispatchMode::Naive, &w))
+        });
+        g.bench_function(BenchmarkId::new("streams8", &label), |b| {
+            b.iter(|| conv_forward_ns(DeviceProps::p100(), DispatchMode::FixedStreams(8), &w))
+        });
+        g.bench_function(BenchmarkId::new("glp4nn", &label), |b| {
+            b.iter(|| conv_forward_glp4nn_ns(DeviceProps::p100(), &w))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_conv_dispatch);
+criterion_main!(benches);

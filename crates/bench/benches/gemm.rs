@@ -1,0 +1,43 @@
+//! Substrate benchmark: the blocked SGEMM every convolution and
+//! fully-connected layer bottoms out in (our cuBLAS stand-in).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tensor::gemm::{sgemm, Transpose};
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sgemm");
+    // Shapes drawn from the paper's Table 5 per-sample GEMMs:
+    // (Co, OH*OW, Ci*F*F).
+    let shapes = [
+        ("cifar_conv1", 32usize, 1024usize, 75usize),
+        ("siamese_conv2", 50, 64, 500),
+        ("caffenet_conv3", 384, 169, 2304),
+        ("googlenet_conv3", 384, 49, 832),
+    ];
+    for (name, m, n, k) in shapes {
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 7) as f32 * 0.2).collect();
+        let mut out = vec![0.0f32; m * n];
+        g.throughput(Throughput::Elements((2 * m * n * k) as u64));
+        g.bench_function(BenchmarkId::from_parameter(name), |bencher| {
+            bencher.iter(|| {
+                sgemm(
+                    Transpose::No,
+                    Transpose::No,
+                    m,
+                    n,
+                    k,
+                    1.0,
+                    std::hint::black_box(&a),
+                    std::hint::black_box(&b),
+                    0.0,
+                    &mut out,
+                );
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

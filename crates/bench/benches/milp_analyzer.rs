@@ -1,0 +1,62 @@
+//! `T_a` benchmark (Table 6): real wall time of the kernel analyzer's MILP
+//! solve — the GLPK-substitute path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glp4nn::analyzer::{analyze_profiles, KernelProfile};
+use gpu_sim::DeviceProps;
+use milp::{Model, Sense, VarKind};
+
+fn profiles(classes: usize) -> Vec<KernelProfile> {
+    (0..classes)
+        .map(|i| KernelProfile {
+            name: format!("k{i}"),
+            grid_blocks: 12 + 7 * i as u64,
+            threads_per_block: 128 << (i % 3),
+            regs_per_thread: 32,
+            smem_per_block: if i % 2 == 0 { 8192 } else { 0 },
+            avg_duration_ns: 20_000 + 11_000 * i as u64,
+            instances: 64,
+        })
+        .collect()
+}
+
+fn bench_analyzer(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyzer_t_a");
+    for classes in [1usize, 3, 6] {
+        let p = profiles(classes);
+        for dev in [DeviceProps::k40c(), DeviceProps::p100()] {
+            let id = format!("{}_{}classes", dev.name.replace(' ', "_"), classes);
+            g.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter(|| analyze_profiles(std::hint::black_box(&dev), std::hint::black_box(&p)))
+            });
+        }
+    }
+    g.finish();
+
+    // Raw MILP solver on the paper-shaped bounded knapsack.
+    c.bench_function("milp_solve_knapsack", |b| {
+        b.iter(|| {
+            let mut m = Model::new(Sense::Maximize);
+            let vars: Vec<_> = (0..6)
+                .map(|i| {
+                    m.add_var(
+                        &format!("x{i}"),
+                        VarKind::Integer,
+                        0.0,
+                        8.0,
+                        (100 * (i + 1)) as f64,
+                    )
+                })
+                .collect();
+            let terms: Vec<_> = vars.iter().map(|&v| (v, 256.0)).collect();
+            m.add_le_constraint("threads", &terms, 2048.0);
+            let conc: Vec<_> = vars.iter().map(|&v| (v, 1.0)).collect();
+            m.add_le_constraint("conc", &conc, 32.0);
+            m.add_ge_constraint("lo", &conc, 1.0);
+            milp::solve(std::hint::black_box(&m)).unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, bench_analyzer);
+criterion_main!(benches);

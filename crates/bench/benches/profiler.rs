@@ -1,0 +1,44 @@
+//! `T_p` benchmark (Table 6 / Fig. 10): real wall time of the compact
+//! resource tracker — activity serialization, buffering, and parsing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cupti_sim::Profiler;
+use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
+
+fn device_with_kernels(n: u32) -> Device {
+    let mut dev = Device::new(DeviceProps::p100());
+    let s = dev.create_stream();
+    for i in 0..n {
+        dev.launch(
+            s,
+            KernelDesc::new(
+                if i % 2 == 0 { "im2col" } else { "sgemm" },
+                LaunchConfig::new(Dim3::linear(16), Dim3::linear(128), 33, 4096),
+                KernelCost::new(1.0e5, 1.0e4),
+            )
+            .with_tag(i as u64),
+        );
+    }
+    dev.run();
+    dev
+}
+
+fn bench_profiler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resource_tracker_t_p");
+    for kernels in [48u32, 256, 1024] {
+        let dev = device_with_kernels(kernels);
+        g.throughput(Throughput::Elements(kernels as u64));
+        g.bench_function(BenchmarkId::new("ingest_flush", kernels), |b| {
+            b.iter(|| {
+                let mut p = Profiler::new();
+                p.enable();
+                p.ingest(std::hint::black_box(dev.trace()));
+                p.flush()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_profiler);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Simulator-substrate benchmark: discrete-event throughput of the GPU
+//! model under serial and concurrent workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
+
+fn run_workload(streams: usize, kernels: u32, blocks: u32) -> u64 {
+    let mut dev = Device::new(DeviceProps::p100());
+    let pool: Vec<_> = (0..streams).map(|_| dev.create_stream()).collect();
+    for i in 0..kernels {
+        dev.launch(
+            pool[i as usize % streams],
+            KernelDesc::new(
+                "k",
+                LaunchConfig::new(Dim3::linear(blocks), Dim3::linear(256), 32, 8192),
+                KernelCost::new(4.0e6, 2.0e5),
+            )
+            .with_tag(i as u64),
+        );
+    }
+    dev.run()
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_engine");
+    for (streams, kernels, blocks) in [(1usize, 64u32, 64u32), (8, 64, 64), (8, 256, 16)] {
+        let id = format!("{streams}str_{kernels}k_{blocks}b");
+        g.throughput(Throughput::Elements(kernels as u64 * blocks as u64));
+        g.bench_function(BenchmarkId::from_parameter(id), |b| {
+            b.iter(|| run_workload(streams, kernels, blocks))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Whole-iteration benchmark (Fig. 7 / Fig. 11 harness cost): a full
+//! forward+backward pass of each evaluation network, timing-only, plus a
+//! real compute step of the small CIFAR10 network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glp4nn_bench::{iteration_timings, net_spec_with_batch, total_ns};
+use gpu_sim::DeviceProps;
+use nn::data::SyntheticDataset;
+use nn::{DispatchMode, ExecCtx, Net, Solver, SolverConfig};
+use tensor::Blob;
+
+fn bench_iterations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("training_iteration_timing_only");
+    g.sample_size(10);
+    for (net_name, batch) in [("CIFAR10", 32usize), ("Siamese", 16), ("GoogLeNet", 8)] {
+        let spec = net_spec_with_batch(net_name, batch, 1);
+        g.bench_function(BenchmarkId::new("naive", net_name), |b| {
+            b.iter(|| {
+                let mut ctx =
+                    ExecCtx::with_mode(DeviceProps::p100(), DispatchMode::Naive).timing_only();
+                let mut net = Net::from_spec(&spec);
+                total_ns(&iteration_timings(&mut ctx, &mut net))
+            })
+        });
+        g.bench_function(BenchmarkId::new("glp4nn_steady", net_name), |b| {
+            b.iter(|| {
+                let mut ctx = ExecCtx::glp4nn(DeviceProps::p100()).timing_only();
+                let mut net = Net::from_spec(&spec);
+                iteration_timings(&mut ctx, &mut net); // profile
+                total_ns(&iteration_timings(&mut ctx, &mut net))
+            })
+        });
+    }
+    g.finish();
+
+    // Real-math solver step (the Fig. 11 workload at reduced batch).
+    let mut g = c.benchmark_group("training_iteration_real_math");
+    g.sample_size(10);
+    g.bench_function("cifar10_batch16_sgd_step", |b| {
+        let ds = SyntheticDataset::cifar_like(42);
+        b.iter(|| {
+            let mut ctx = ExecCtx::naive(DeviceProps::p100());
+            let net = Net::from_spec(&net_spec_with_batch("CIFAR10", 16, 42));
+            let mut solver = Solver::new(net, SolverConfig::default());
+            let mut data = std::mem::replace(solver.net.blob_mut("data"), Blob::empty());
+            let mut label = std::mem::replace(solver.net.blob_mut("label"), Blob::empty());
+            ds.fill_batch(0, &mut data, &mut label);
+            *solver.net.blob_mut("data") = data;
+            *solver.net.blob_mut("label") = label;
+            solver.step(&mut ctx)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_iterations);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Framework overhead bookkeeping (paper §3.3.2, Eqs. 10-12).
+//!
+//! `T_total = T_p + T_a + T_s`: profiling time, analysis time and
+//! scheduling time. With the static round-robin policy "T_s can be safely
+//! ignored", so the report carries `T_p` and `T_a` (both *real* measured
+//! wall times of our profiler and MILP solver) plus the three memory
+//! terms, and [`CostBook`] relates them to total training time to verify
+//! the paper's "< 0.1 %" claim (Table 6, last column).
+
+use std::time::Duration;
+
+/// One-time overhead of GLP4NN on one device.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostReport {
+    /// Profiling time (`T_p`), real wall time of the resource tracker.
+    pub t_p: Duration,
+    /// Kernel-analysis time (`T_a`), real wall time of the MILP solves.
+    pub t_a: Duration,
+    /// Timestamp memory (`mem_tt`), bytes.
+    pub mem_tt_bytes: usize,
+    /// Kernel-configuration memory (`mem_K`), bytes.
+    pub mem_k_bytes: usize,
+    /// CUPTI runtime memory (`mem_cupti`), bytes.
+    pub mem_cupti_bytes: usize,
+    /// Kernels recorded during profiling.
+    pub kernels_recorded: usize,
+}
+
+impl CostReport {
+    /// `T_total = T_p + T_a (+ T_s = 0)` (Eq. 12).
+    pub fn t_total(&self) -> Duration {
+        self.t_p + self.t_a
+    }
+
+    /// `mem_total` (Eq. 10).
+    pub fn mem_total_bytes(&self) -> usize {
+        self.mem_tt_bytes + self.mem_k_bytes + self.mem_cupti_bytes
+    }
+}
+
+/// Relates one-time overhead to accumulated training time (the "Ratio"
+/// column of Table 6).
+#[derive(Debug, Clone, Default)]
+pub struct CostBook {
+    /// Accumulated training time (simulated device ns mapped 1:1 to real
+    /// ns for the ratio).
+    pub training_ns: u128,
+}
+
+impl CostBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one training iteration's duration (ns).
+    pub fn add_iteration(&mut self, elapsed_ns: u64) {
+        self.training_ns += elapsed_ns as u128;
+    }
+
+    /// Overhead-to-training ratio for a report; `None` before any
+    /// training time is recorded.
+    pub fn overhead_ratio(&self, report: &CostReport) -> Option<f64> {
+        if self.training_ns == 0 {
+            return None;
+        }
+        Some(report.t_total().as_nanos() as f64 / self.training_ns as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_sums() {
+        let r = CostReport {
+            t_p: Duration::from_micros(100),
+            t_a: Duration::from_micros(400),
+            mem_tt_bytes: 160,
+            mem_k_bytes: 640,
+            mem_cupti_bytes: 1 << 20,
+            kernels_recorded: 10,
+        };
+        assert_eq!(r.t_total(), Duration::from_micros(500));
+        assert_eq!(r.mem_total_bytes(), 160 + 640 + (1 << 20));
+    }
+
+    #[test]
+    fn ratio_requires_training_time() {
+        let r = CostReport {
+            t_p: Duration::from_millis(1),
+            ..Default::default()
+        };
+        let mut book = CostBook::new();
+        assert_eq!(book.overhead_ratio(&r), None);
+        book.add_iteration(10_000_000_000); // 10 s of training
+        let ratio = book.overhead_ratio(&r).unwrap();
+        assert!((ratio - 1e-4).abs() < 1e-9, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn paper_claim_shape_ratio_below_point1_percent() {
+        // A realistic profile: T_total ~ 25 ms, training ~ 100 s.
+        let r = CostReport {
+            t_p: Duration::from_millis(12),
+            t_a: Duration::from_millis(13),
+            ..Default::default()
+        };
+        let mut book = CostBook::new();
+        book.add_iteration(100_000_000_000);
+        assert!(book.overhead_ratio(&r).unwrap() < 0.001);
+    }
+}

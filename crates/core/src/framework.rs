@@ -1,0 +1,329 @@
+//! The top-level GLP4NN framework object (the paper's Fig. 5).
+//!
+//! "GLP4NN supports multiple GPUs on the same machine. Each GPU device is
+//! assigned with a private kernel analyzer and runtime scheduler, and all
+//! GPUs in the same machine share a public resource tracker and stream
+//! manager."
+
+use crate::analyzer::KernelAnalyzer;
+use crate::cost::CostReport;
+use crate::optim::OptimConfig;
+use crate::scheduler::RuntimeScheduler;
+use crate::streams::StreamManager;
+use crate::tracker::ResourceTracker;
+use gpu_sim::{Device, DeviceProps, KernelDesc, SimTime};
+
+/// Which pass of training a layer execution belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Forward propagation (paper Algorithm 1).
+    Forward,
+    /// Backward propagation (paper Algorithm 2).
+    Backward,
+}
+
+/// Identity of a layer execution site, keying the concurrency maintainer's
+/// plan cache.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerKey {
+    /// Network name.
+    pub net: String,
+    /// Layer name within the network.
+    pub layer: String,
+    /// Forward or backward pass.
+    pub phase: Phase,
+}
+
+impl LayerKey {
+    /// Key for a forward-pass execution.
+    pub fn forward(net: &str, layer: &str) -> Self {
+        LayerKey {
+            net: net.to_string(),
+            layer: layer.to_string(),
+            phase: Phase::Forward,
+        }
+    }
+
+    /// Key for a backward-pass execution.
+    pub fn backward(net: &str, layer: &str) -> Self {
+        LayerKey {
+            net: net.to_string(),
+            layer: layer.to_string(),
+            phase: Phase::Backward,
+        }
+    }
+
+    /// String form used by the plan cache.
+    pub fn cache_key(&self) -> String {
+        let phase = match self.phase {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+        };
+        format!("{}/{}/{}", self.net, self.layer, phase)
+    }
+}
+
+/// How a layer execution was carried out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// First sight of the layer: serial run on the default stream with the
+    /// resource tracker recording.
+    Profiling,
+    /// Dispatched round-robin over a pool of `streams` concurrent streams.
+    Concurrent {
+        /// Pool size used (`C_out` from the analytical model).
+        streams: u32,
+    },
+}
+
+/// Result of one layer execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecReport {
+    /// Profiling or concurrent.
+    pub mode: ExecMode,
+    /// Simulated device time the layer took (ns).
+    pub elapsed_ns: SimTime,
+    /// Kernels launched.
+    pub kernels: usize,
+}
+
+struct GpuRuntime {
+    analyzer: KernelAnalyzer,
+    scheduler: RuntimeScheduler,
+}
+
+/// The GLP4NN framework: shared tracker + stream manager, per-GPU analyzer
+/// + scheduler.
+pub struct Glp4nn {
+    tracker: ResourceTracker,
+    streams: StreamManager,
+    gpus: Vec<Option<GpuRuntime>>,
+    optim: OptimConfig,
+}
+
+impl Glp4nn {
+    /// Framework managing `num_gpus` devices. Each device must be
+    /// registered with [`register_device`](Self::register_device) before
+    /// use.
+    pub fn new(num_gpus: usize) -> Self {
+        Self::with_optim(num_gpus, OptimConfig::default())
+    }
+
+    /// Framework with the paper's §6 kernel fusion / reordering
+    /// extensions configured.
+    pub fn with_optim(num_gpus: usize, optim: OptimConfig) -> Self {
+        Glp4nn {
+            tracker: ResourceTracker::new(num_gpus),
+            streams: StreamManager::new(num_gpus),
+            gpus: (0..num_gpus).map(|_| None).collect(),
+            optim,
+        }
+    }
+
+    /// Register device `gpu` with its hardware properties, creating its
+    /// private kernel analyzer and runtime scheduler.
+    pub fn register_device(&mut self, gpu: usize, props: &DeviceProps) {
+        self.gpus[gpu] = Some(GpuRuntime {
+            analyzer: KernelAnalyzer::new(props.clone()),
+            scheduler: RuntimeScheduler::with_optim(gpu, self.optim),
+        });
+    }
+
+    /// Number of GPU slots.
+    pub fn num_gpus(&self) -> usize {
+        self.gpus.len()
+    }
+
+    /// Execute one layer's kernel groups on device `gpu` following the
+    /// runtime-scheduler workflow (profile once, then dispatch over the
+    /// model-sized stream pool).
+    ///
+    /// # Panics
+    /// Panics if `gpu` was not registered.
+    pub fn execute(
+        &mut self,
+        dev: &mut Device,
+        gpu: usize,
+        key: &LayerKey,
+        groups: Vec<Vec<KernelDesc>>,
+    ) -> ExecReport {
+        let rt = self.gpus[gpu]
+            .as_mut()
+            .expect("device not registered with Glp4nn");
+        rt.scheduler.execute(
+            dev,
+            &self.tracker,
+            &mut rt.analyzer,
+            &self.streams,
+            key,
+            groups,
+        )
+    }
+
+    /// Execute a dataflow-style [`crate::KernelGraph`] (the §6 extension)
+    /// with the same profile-once-then-concurrent workflow as
+    /// [`execute`](Self::execute). Cross-stream dependencies are enforced
+    /// with events, so the dependency structure is preserved exactly.
+    pub fn execute_graph(
+        &mut self,
+        dev: &mut Device,
+        gpu: usize,
+        key: &LayerKey,
+        graph: &crate::KernelGraph,
+    ) -> ExecReport {
+        let rt = self.gpus[gpu]
+            .as_mut()
+            .expect("device not registered with Glp4nn");
+        let key_str = key.cache_key();
+        let t0 = dev.now();
+        let kernels = graph.len();
+        if let Some(plan) = rt.analyzer.plan_for(&key_str).cloned() {
+            let pool = self.streams.pool(dev, gpu, plan.streams as usize);
+            graph.launch(dev, &pool);
+            let end = dev.run();
+            return ExecReport {
+                mode: ExecMode::Concurrent {
+                    streams: plan.streams,
+                },
+                elapsed_ns: end - t0,
+                kernels,
+            };
+        }
+        self.tracker.ingest(gpu, dev.trace());
+        self.tracker.enable(gpu);
+        graph.launch(dev, &[dev.default_stream()]);
+        let end = dev.run();
+        self.tracker.ingest(gpu, dev.trace());
+        self.tracker.disable(gpu);
+        let profiles = self.tracker.parse(gpu);
+        rt.analyzer.analyze(&key_str, &profiles);
+        ExecReport {
+            mode: ExecMode::Profiling,
+            elapsed_ns: end - t0,
+            kernels,
+        }
+    }
+
+    /// The cached concurrency plan for a layer, if analyzed.
+    pub fn plan_for(&self, gpu: usize, key: &LayerKey) -> Option<crate::ConcurrencyPlan> {
+        self.gpus[gpu]
+            .as_ref()
+            .and_then(|rt| rt.analyzer.plan_for(&key.cache_key()).cloned())
+    }
+
+    /// One-time overhead report for device `gpu` (Table 6 / Fig. 10 data).
+    pub fn cost_report(&self, gpu: usize) -> CostReport {
+        let o = self.tracker.overhead(gpu);
+        let t_a = self.gpus[gpu]
+            .as_ref()
+            .map(|rt| rt.analyzer.total_analysis_time())
+            .unwrap_or_default();
+        CostReport {
+            t_p: o.t_p,
+            t_a,
+            mem_tt_bytes: o.mem_tt_bytes,
+            mem_k_bytes: o.mem_k_bytes,
+            mem_cupti_bytes: o.mem_cupti_bytes,
+            kernels_recorded: o.kernels_recorded,
+        }
+    }
+
+    /// Shared resource tracker (for direct inspection).
+    pub fn tracker(&self) -> &ResourceTracker {
+        &self.tracker
+    }
+
+    /// Shared stream manager (for direct inspection).
+    pub fn stream_manager(&self) -> &StreamManager {
+        &self.streams
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Dim3, KernelCost, LaunchConfig};
+
+    fn groups(n: u64) -> Vec<Vec<KernelDesc>> {
+        (0..n)
+            .map(|i| {
+                vec![KernelDesc::new(
+                    "sgemm",
+                    LaunchConfig::new(Dim3::linear(20), Dim3::linear(128), 48, 4096),
+                    KernelCost::new(4.0e6, 2.0e5),
+                )
+                .with_tag(i)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn layer_key_cache_keys_are_distinct() {
+        assert_ne!(
+            LayerKey::forward("n", "l").cache_key(),
+            LayerKey::backward("n", "l").cache_key()
+        );
+        assert_ne!(
+            LayerKey::forward("n", "l1").cache_key(),
+            LayerKey::forward("n", "l2").cache_key()
+        );
+        assert_ne!(
+            LayerKey::forward("n1", "l").cache_key(),
+            LayerKey::forward("n2", "l").cache_key()
+        );
+    }
+
+    #[test]
+    fn multi_gpu_runtimes_are_private() {
+        let mut glp = Glp4nn::new(2);
+        let mut d0 = Device::new(DeviceProps::k40c());
+        let mut d1 = Device::new(DeviceProps::p100());
+        glp.register_device(0, d0.props());
+        glp.register_device(1, d1.props());
+        let key = LayerKey::forward("net", "conv1");
+
+        // Profile on GPU 0 only.
+        glp.execute(&mut d0, 0, &key, groups(4));
+        assert!(glp.plan_for(0, &key).is_some());
+        assert!(glp.plan_for(1, &key).is_none(), "analyzers are per-GPU");
+
+        // GPU 1 profiles independently.
+        let r = glp.execute(&mut d1, 1, &key, groups(4));
+        assert_eq!(r.mode, ExecMode::Profiling);
+        assert!(glp.plan_for(1, &key).is_some());
+    }
+
+    #[test]
+    fn cost_report_populates_after_profiling() {
+        let mut glp = Glp4nn::new(1);
+        let mut dev = Device::new(DeviceProps::titan_xp());
+        glp.register_device(0, dev.props());
+        let key = LayerKey::forward("net", "conv1");
+        glp.execute(&mut dev, 0, &key, groups(6));
+        let c = glp.cost_report(0);
+        assert_eq!(c.kernels_recorded, 6);
+        assert!(c.t_a.as_nanos() > 0);
+        assert!(c.mem_total_bytes() > c.mem_tt_bytes + c.mem_k_bytes);
+    }
+
+    #[test]
+    #[should_panic(expected = "not registered")]
+    fn unregistered_device_panics() {
+        let mut glp = Glp4nn::new(1);
+        let mut dev = Device::new(DeviceProps::p100());
+        let key = LayerKey::forward("net", "l");
+        glp.execute(&mut dev, 0, &key, groups(1));
+    }
+
+    #[test]
+    fn stream_pool_sized_by_plan() {
+        let mut glp = Glp4nn::new(1);
+        let mut dev = Device::new(DeviceProps::k40c());
+        glp.register_device(0, dev.props());
+        let key = LayerKey::forward("net", "conv1");
+        glp.execute(&mut dev, 0, &key, groups(8));
+        let plan = glp.plan_for(0, &key).unwrap();
+        glp.execute(&mut dev, 0, &key, groups(8));
+        assert_eq!(glp.stream_manager().pool_size(0), plan.streams as usize);
+    }
+}

@@ -1,0 +1,310 @@
+//! Dataflow-style kernel dependency graphs (the paper's §6 future work:
+//! "considering and supporting complex kernel dependencies, such as the
+//! dataflow-like dependency model in Tensorflow").
+//!
+//! [`KernelGraph`] generalizes the chain-per-sample *group* model to an
+//! arbitrary DAG. Scheduling maps nodes to the concurrent stream pool in
+//! topological order; dependencies that cross streams are enforced with
+//! CUDA events (`record` after the producer, `wait` before the consumer),
+//! so — like the group scheduler — no dependence is ever broken and the
+//! execution stays convergence-invariant.
+
+use gpu_sim::{Device, EventId, KernelDesc, StreamId};
+use std::collections::VecDeque;
+
+/// A DAG of kernels. Node indices are positions in `nodes`.
+#[derive(Debug, Clone, Default)]
+pub struct KernelGraph {
+    nodes: Vec<KernelDesc>,
+    /// `edges[i]` = indices that must complete before node `i` starts.
+    deps: Vec<Vec<usize>>,
+}
+
+impl KernelGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a kernel with explicit dependencies; returns the node index.
+    ///
+    /// # Panics
+    /// Panics if a dependency index refers to a node not yet added
+    /// (insertion order is thus always a valid topological order).
+    pub fn add(&mut self, kernel: KernelDesc, deps: &[usize]) -> usize {
+        let idx = self.nodes.len();
+        for &d in deps {
+            assert!(d < idx, "dependency {d} must be added before node {idx}");
+        }
+        self.nodes.push(kernel);
+        self.deps.push(deps.to_vec());
+        idx
+    }
+
+    /// Convenience: add a dependent chain, returning the node indices.
+    pub fn add_chain(&mut self, kernels: Vec<KernelDesc>, deps_of_first: &[usize]) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(kernels.len());
+        for (i, k) in kernels.into_iter().enumerate() {
+            let deps: Vec<usize> = if i == 0 {
+                deps_of_first.to_vec()
+            } else {
+                vec![*ids.last().unwrap()]
+            };
+            let id = self.add(k, &deps);
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// Number of kernels.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Kernel descriptors in insertion (topological) order.
+    pub fn nodes(&self) -> &[KernelDesc] {
+        &self.nodes
+    }
+
+    /// Dependencies of node `i`.
+    pub fn deps(&self, i: usize) -> &[usize] {
+        &self.deps[i]
+    }
+
+    /// Weakly-connected components; each component is independent of the
+    /// others, so components can be dispatched like the group scheduler's
+    /// groups (round-robin over the pool).
+    pub fn components(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, deps) in self.deps.iter().enumerate() {
+            for &d in deps {
+                adj[i].push(d);
+                adj[d].push(i);
+            }
+        }
+        let mut comp = vec![usize::MAX; n];
+        let mut out: Vec<Vec<usize>> = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            let c = out.len();
+            let mut q = VecDeque::from([start]);
+            comp[start] = c;
+            let mut members = vec![start];
+            while let Some(v) = q.pop_front() {
+                for &w in &adj[v] {
+                    if comp[w] == usize::MAX {
+                        comp[w] = c;
+                        members.push(w);
+                        q.push_back(w);
+                    }
+                }
+            }
+            members.sort_unstable();
+            out.push(members);
+        }
+        out
+    }
+
+    /// Launch the whole graph onto `pool` (falling back to serial order on
+    /// one stream when `pool.len() == 1`). Nodes are assigned the stream
+    /// of their first dependency when possible (chains stay on one stream,
+    /// no event needed); otherwise a stream is taken round-robin and
+    /// cross-stream edges get CUDA events. Returns per-node kernel ids.
+    pub fn launch(&self, dev: &mut Device, pool: &[StreamId]) -> Vec<gpu_sim::KernelId> {
+        assert!(!pool.is_empty(), "need at least one stream");
+        let n = self.nodes.len();
+        let mut stream_of: Vec<StreamId> = Vec::with_capacity(n);
+        // Event recorded after node i, created lazily.
+        let mut event_of: Vec<Option<EventId>> = vec![None; n];
+        let mut rr = 0usize;
+        let mut ids = Vec::with_capacity(n);
+        // Whether some consumer already continued on node d's stream; only
+        // the first inherits it (in-order edge for free) — siblings would
+        // otherwise serialize behind each other on the shared stream.
+        let mut continued = vec![false; n];
+
+        for i in 0..n {
+            let inherit = self.deps[i].iter().copied().find(|&d| !continued[d]);
+            let sid = match inherit {
+                Some(d) => {
+                    continued[d] = true;
+                    stream_of[d]
+                }
+                None => {
+                    let s = pool[rr % pool.len()];
+                    rr += 1;
+                    s
+                }
+            };
+            // Cross-stream dependencies wait on the producer's event,
+            // which was recorded immediately after the producer's launch
+            // (so it signals exactly that kernel's completion, not the
+            // later work of sibling consumers on the same stream).
+            for &d in &self.deps[i] {
+                if stream_of[d] != sid {
+                    let ev = event_of[d].expect("event recorded at producer launch");
+                    dev.wait_event(sid, ev);
+                }
+            }
+            ids.push(dev.launch(sid, self.nodes[i].clone()));
+            let ev = dev.create_event();
+            dev.record_event(sid, ev);
+            event_of[i] = Some(ev);
+            stream_of.push(sid);
+        }
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceProps, Dim3, KernelCost, LaunchConfig};
+
+    fn kernel(name: &str, flops: f64) -> KernelDesc {
+        KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(14), Dim3::linear(256), 32, 4096),
+            KernelCost::new(flops, flops / 4.0),
+        )
+    }
+
+    fn pool(dev: &mut Device, n: usize) -> Vec<StreamId> {
+        (0..n).map(|_| dev.create_stream()).collect()
+    }
+
+    use gpu_sim::Device;
+
+    #[test]
+    fn insertion_order_is_topological() {
+        let mut g = KernelGraph::new();
+        let a = g.add(kernel("a", 1e6), &[]);
+        let b = g.add(kernel("b", 1e6), &[a]);
+        let c = g.add(kernel("c", 1e6), &[a]);
+        let d = g.add(kernel("d", 1e6), &[b, c]);
+        assert_eq!((a, b, c, d), (0, 1, 2, 3));
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.deps(3), &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be added before")]
+    fn forward_dependency_rejected() {
+        let mut g = KernelGraph::new();
+        g.add(kernel("a", 1e6), &[3]);
+    }
+
+    #[test]
+    fn diamond_dependencies_are_enforced() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let p = pool(&mut dev, 4);
+        let mut g = KernelGraph::new();
+        let a = g.add(kernel("a", 5e6), &[]);
+        let b = g.add(kernel("b", 5e6), &[a]);
+        let c = g.add(kernel("c", 5e6), &[a]);
+        let d = g.add(kernel("d", 5e6), &[b, c]);
+        let ids = g.launch(&mut dev, &p);
+        dev.run();
+        let span = |i: usize| dev.kernel_span(ids[i]).unwrap();
+        assert!(span(b).0 >= span(a).1, "b after a");
+        assert!(span(c).0 >= span(a).1, "c after a");
+        assert!(span(d).0 >= span(b).1, "d after b");
+        assert!(span(d).0 >= span(c).1, "d after c");
+    }
+
+    #[test]
+    fn independent_branches_overlap() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let p = pool(&mut dev, 4);
+        let mut g = KernelGraph::new();
+        let a = g.add(kernel("a", 2e6), &[]);
+        let b = g.add(kernel("b", 5e7), &[a]);
+        let c = g.add(kernel("c", 5e7), &[a]);
+        let ids = g.launch(&mut dev, &p);
+        dev.run();
+        let (bs, be) = dev.kernel_span(ids[b]).unwrap();
+        let (cs, ce) = dev.kernel_span(ids[c]).unwrap();
+        let overlap = be.min(ce).saturating_sub(bs.max(cs));
+        assert!(overlap > 0, "siblings must overlap: b {bs}-{be}, c {cs}-{ce}");
+    }
+
+    #[test]
+    fn chains_stay_on_one_stream() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let p = pool(&mut dev, 4);
+        let mut g = KernelGraph::new();
+        let ids = g.add_chain(vec![kernel("x", 1e6), kernel("y", 1e6), kernel("z", 1e6)], &[]);
+        assert_eq!(ids, vec![0, 1, 2]);
+        let kids = g.launch(&mut dev, &p);
+        dev.run();
+        let streams: Vec<u32> = kids
+            .iter()
+            .map(|&id| {
+                dev.trace()
+                    .iter()
+                    .find(|t| t.id == id)
+                    .map(|t| t.stream.raw())
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(streams[0], streams[1]);
+        assert_eq!(streams[1], streams[2]);
+    }
+
+    #[test]
+    fn components_found() {
+        let mut g = KernelGraph::new();
+        let a = g.add(kernel("a", 1e6), &[]);
+        let _b = g.add(kernel("b", 1e6), &[a]);
+        let c = g.add(kernel("c", 1e6), &[]);
+        let _d = g.add(kernel("d", 1e6), &[c]);
+        let e = g.add(kernel("e", 1e6), &[]);
+        let comps = g.components();
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![0, 1]);
+        assert_eq!(comps[1], vec![2, 3]);
+        assert_eq!(comps[2], vec![e]);
+    }
+
+    #[test]
+    fn graph_on_single_stream_serializes() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let p = pool(&mut dev, 1);
+        let mut g = KernelGraph::new();
+        g.add(kernel("a", 1e6), &[]);
+        g.add(kernel("b", 1e6), &[]);
+        let ids = g.launch(&mut dev, &p);
+        dev.run();
+        let (_, ae) = dev.kernel_span(ids[0]).unwrap();
+        let (bs, _) = dev.kernel_span(ids[1]).unwrap();
+        assert!(bs >= ae);
+    }
+
+    #[test]
+    fn deterministic_graph_execution() {
+        let run = || {
+            let mut dev = Device::new(DeviceProps::titan_xp());
+            let p = pool(&mut dev, 3);
+            let mut g = KernelGraph::new();
+            let a = g.add(kernel("a", 3e6), &[]);
+            let b = g.add(kernel("b", 7e6), &[a]);
+            let c = g.add(kernel("c", 2e6), &[a]);
+            let _d = g.add(kernel("d", 4e6), &[b, c]);
+            g.launch(&mut dev, &p);
+            dev.run();
+            dev.trace()
+                .iter()
+                .map(|t| (t.start_ns, t.end_ns))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,250 @@
+//! The runtime scheduler: the Fig. 6 workflow.
+//!
+//! "At the beginning, the runtime scheduler checks whether configurations
+//! of these kernels have been collected. If not, it will invoke the
+//! resource tracker to gather the profiling information of these kernels
+//! ... Then the information gathered is parsed by the kernel parser and
+//! further analyzed by the kernel analyzer ... The runtime scheduler will
+//! take the result into account to dispatch kernels in the following
+//! iterations." Dispatch policy is round-robin over the stream pool, as in
+//! the paper.
+
+use crate::analyzer::KernelAnalyzer;
+use crate::framework::{ExecMode, ExecReport, LayerKey};
+use crate::optim::{fuse_group, reorder_groups, OptimConfig};
+use crate::streams::StreamManager;
+use crate::tracker::ResourceTracker;
+use gpu_sim::{Device, KernelDesc};
+
+/// Per-GPU runtime scheduler.
+#[derive(Debug)]
+pub struct RuntimeScheduler {
+    gpu: usize,
+    optim: OptimConfig,
+}
+
+impl RuntimeScheduler {
+    /// Scheduler for device index `gpu` with the default (paper-faithful,
+    /// optimizations off) configuration.
+    pub fn new(gpu: usize) -> Self {
+        Self::with_optim(gpu, OptimConfig::default())
+    }
+
+    /// Scheduler with explicit fusion/reordering configuration (the
+    /// paper's §6 extensions).
+    pub fn with_optim(gpu: usize, optim: OptimConfig) -> Self {
+        RuntimeScheduler { gpu, optim }
+    }
+
+    /// Execute one layer's kernel groups on `dev`.
+    ///
+    /// Each *group* is an ordered chain of dependent kernels (e.g. one
+    /// sample's `im2col → sgemm → bias`); groups are mutually independent.
+    /// First execution of a `key` runs everything on the default stream
+    /// with profiling enabled, then feeds the tracker's parsed profiles to
+    /// the analyzer. Later executions dispatch groups round-robin over a
+    /// pool of `C_out` streams.
+    pub fn execute(
+        &mut self,
+        dev: &mut Device,
+        tracker: &ResourceTracker,
+        analyzer: &mut KernelAnalyzer,
+        streams: &StreamManager,
+        key: &LayerKey,
+        groups: Vec<Vec<KernelDesc>>,
+    ) -> ExecReport {
+        let key_str = key.cache_key();
+        let kernels: usize = groups.iter().map(Vec::len).sum();
+        let t0 = dev.now();
+
+        if let Some(plan) = analyzer.plan_for(&key_str).cloned() {
+            // Optional §6 extensions, using the plan's profiled durations.
+            let overhead = dev.props().launch_overhead_ns;
+            let mut groups = groups;
+            if self.optim.fusion {
+                groups = groups
+                    .into_iter()
+                    .map(|g| {
+                        fuse_group(
+                            g,
+                            &plan.class_durations,
+                            overhead,
+                            self.optim.fusion_threshold_x,
+                        )
+                    })
+                    .collect();
+            }
+            if self.optim.reordering {
+                groups = reorder_groups(groups, &plan.class_durations, overhead);
+            }
+            // Concurrent path: round-robin groups over the pool.
+            let pool = streams.pool(dev, self.gpu, plan.streams as usize);
+            for (i, group) in groups.into_iter().enumerate() {
+                let sid = pool[i % pool.len()];
+                for k in group {
+                    dev.launch(sid, k);
+                }
+            }
+            // Inter-layer synchronization (paper §2.1): the layer ends with
+            // a device-wide barrier.
+            let end = dev.run();
+            return ExecReport {
+                mode: ExecMode::Concurrent {
+                    streams: plan.streams,
+                },
+                elapsed_ns: end - t0,
+                kernels,
+            };
+        }
+
+        // Profiling path: default stream, tracker enabled. Skip any trace
+        // entries produced since the last profiling window (kernels of
+        // layers GLP4NN does not manage) before turning recording on.
+        tracker.ingest(self.gpu, dev.trace());
+        tracker.enable(self.gpu);
+        let sid = streams.default_stream(dev);
+        for group in groups {
+            for k in group {
+                dev.launch(sid, k);
+            }
+        }
+        let end = dev.run();
+        tracker.ingest(self.gpu, dev.trace());
+        tracker.disable(self.gpu);
+        let profiles = tracker.parse(self.gpu);
+        analyzer.analyze(&key_str, &profiles);
+        ExecReport {
+            mode: ExecMode::Profiling,
+            elapsed_ns: end - t0,
+            kernels,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceProps, Dim3, KernelCost, LaunchConfig};
+
+    fn groups(n: u64) -> Vec<Vec<KernelDesc>> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    KernelDesc::new(
+                        "im2col",
+                        LaunchConfig::new(Dim3::linear(18), Dim3::linear(256), 33, 0),
+                        KernelCost::new(3.0e5, 1.0e5),
+                    )
+                    .with_tag(i),
+                    KernelDesc::new(
+                        "sgemm",
+                        LaunchConfig::new(Dim3::linear(24), Dim3::linear(128), 60, 8192),
+                        KernelCost::new(6.0e6, 3.0e5),
+                    )
+                    .with_tag(i),
+                ]
+            })
+            .collect()
+    }
+
+    fn setup() -> (Device, ResourceTracker, KernelAnalyzer, StreamManager) {
+        let dev = Device::new(DeviceProps::k40c());
+        let tracker = ResourceTracker::new(1);
+        let analyzer = KernelAnalyzer::new(DeviceProps::k40c());
+        let streams = StreamManager::new(1);
+        (dev, tracker, analyzer, streams)
+    }
+
+    #[test]
+    fn first_run_profiles_then_concurrent() {
+        let (mut dev, tracker, mut analyzer, streams) = setup();
+        let mut sched = RuntimeScheduler::new(0);
+        let key = LayerKey::forward("net", "conv1");
+
+        let r1 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(8));
+        assert_eq!(r1.mode, ExecMode::Profiling);
+        assert_eq!(r1.kernels, 16);
+        assert!(analyzer.plan_for(&key.cache_key()).is_some());
+
+        let r2 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(8));
+        match r2.mode {
+            ExecMode::Concurrent { streams: s } => assert!(s >= 1),
+            m => panic!("expected concurrent, got {m:?}"),
+        }
+    }
+
+    #[test]
+    fn concurrent_is_faster_for_small_kernels() {
+        let (mut dev, tracker, mut analyzer, streams) = setup();
+        let mut sched = RuntimeScheduler::new(0);
+        let key = LayerKey::forward("net", "conv1");
+        let r1 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(16));
+        let r2 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(16));
+        assert!(
+            r2.elapsed_ns < r1.elapsed_ns,
+            "concurrent {} vs profiled/serial {}",
+            r2.elapsed_ns,
+            r1.elapsed_ns
+        );
+    }
+
+    #[test]
+    fn group_internal_order_is_preserved() {
+        let (mut dev, tracker, mut analyzer, streams) = setup();
+        let mut sched = RuntimeScheduler::new(0);
+        let key = LayerKey::forward("net", "conv1");
+        sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(4));
+        let trace_before = dev.trace().len();
+        sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(4));
+        // For each tag, im2col must end before its sgemm starts.
+        let new = &dev.trace()[trace_before..];
+        for tag in 0..4u64 {
+            let im = new
+                .iter()
+                .find(|t| t.name == "im2col" && t.tag == tag)
+                .unwrap();
+            let gm = new
+                .iter()
+                .find(|t| t.name == "sgemm" && t.tag == tag)
+                .unwrap();
+            assert!(
+                gm.start_ns >= im.end_ns,
+                "tag {tag}: sgemm {} before im2col end {}",
+                gm.start_ns,
+                im.end_ns
+            );
+        }
+    }
+
+    #[test]
+    fn different_layers_profile_independently() {
+        let (mut dev, tracker, mut analyzer, streams) = setup();
+        let mut sched = RuntimeScheduler::new(0);
+        let k1 = LayerKey::forward("net", "conv1");
+        let k2 = LayerKey::forward("net", "conv2");
+        assert_eq!(
+            sched
+                .execute(&mut dev, &tracker, &mut analyzer, &streams, &k1, groups(2))
+                .mode,
+            ExecMode::Profiling
+        );
+        assert_eq!(
+            sched
+                .execute(&mut dev, &tracker, &mut analyzer, &streams, &k2, groups(2))
+                .mode,
+            ExecMode::Profiling
+        );
+        assert_eq!(analyzer.num_plans(), 2);
+    }
+
+    #[test]
+    fn forward_and_backward_have_distinct_plans() {
+        let (mut dev, tracker, mut analyzer, streams) = setup();
+        let mut sched = RuntimeScheduler::new(0);
+        let kf = LayerKey::forward("net", "conv1");
+        let kb = LayerKey::backward("net", "conv1");
+        sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &kf, groups(2));
+        let r = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &kb, groups(2));
+        assert_eq!(r.mode, ExecMode::Profiling);
+    }
+}

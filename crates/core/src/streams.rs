@@ -1,0 +1,98 @@
+//! The stream manager: default stream + concurrent stream pool (§3.1).
+//!
+//! "To support concurrent kernel execution without consuming too many
+//! system thread or process resources on the host side, a stream manager
+//! is designed within the GLP4NN framework." The pool pre-creates CUDA
+//! streams on each device and hands out round-robin assignments; the
+//! default stream is reserved for profiling runs and synchronization.
+//! Growing the pool is monotonic — plans for different layers reuse the
+//! same streams, so a device never accumulates more streams than the
+//! largest `C_out` seen.
+
+use gpu_sim::{Device, StreamId};
+use parking_lot::Mutex;
+
+/// Shared stream manager: one pool per GPU.
+#[derive(Debug)]
+pub struct StreamManager {
+    pools: Mutex<Vec<Vec<StreamId>>>,
+}
+
+impl StreamManager {
+    /// Manager for `num_gpus` devices, all pools initially empty.
+    pub fn new(num_gpus: usize) -> Self {
+        StreamManager {
+            pools: Mutex::new(vec![Vec::new(); num_gpus]),
+        }
+    }
+
+    /// Number of managed GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.pools.lock().len()
+    }
+
+    /// Current pool size on `gpu`.
+    pub fn pool_size(&self, gpu: usize) -> usize {
+        self.pools.lock()[gpu].len()
+    }
+
+    /// Ensure the pool on `gpu` holds at least `n` streams (creating them
+    /// on `dev` as needed) and return the first `n` of them.
+    pub fn pool(&self, dev: &mut Device, gpu: usize, n: usize) -> Vec<StreamId> {
+        let mut pools = self.pools.lock();
+        let pool = &mut pools[gpu];
+        while pool.len() < n {
+            pool.push(dev.create_stream());
+        }
+        pool[..n].to_vec()
+    }
+
+    /// The synchronization stream (CUDA default stream).
+    pub fn default_stream(&self, dev: &Device) -> StreamId {
+        dev.default_stream()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceProps;
+
+    #[test]
+    fn pool_grows_monotonically_and_reuses() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let mgr = StreamManager::new(1);
+        let a = mgr.pool(&mut dev, 0, 3);
+        assert_eq!(a.len(), 3);
+        assert_eq!(mgr.pool_size(0), 3);
+        let b = mgr.pool(&mut dev, 0, 2);
+        assert_eq!(b, a[..2].to_vec(), "smaller requests reuse the pool");
+        let c = mgr.pool(&mut dev, 0, 5);
+        assert_eq!(c[..3], a[..], "growth preserves existing streams");
+        assert_eq!(mgr.pool_size(0), 5);
+        // Device: default stream + 5 pool streams.
+        assert_eq!(dev.num_streams(), 6);
+    }
+
+    #[test]
+    fn pool_streams_are_not_the_default() {
+        let mut dev = Device::new(DeviceProps::k40c());
+        let mgr = StreamManager::new(1);
+        for s in mgr.pool(&mut dev, 0, 4) {
+            assert!(!s.is_default());
+        }
+        assert!(mgr.default_stream(&dev).is_default());
+    }
+
+    #[test]
+    fn per_gpu_pools_are_independent() {
+        let mut d0 = Device::new(DeviceProps::k40c());
+        let mut d1 = Device::new(DeviceProps::p100());
+        let mgr = StreamManager::new(2);
+        mgr.pool(&mut d0, 0, 2);
+        mgr.pool(&mut d1, 1, 4);
+        assert_eq!(mgr.pool_size(0), 2);
+        assert_eq!(mgr.pool_size(1), 4);
+        assert_eq!(mgr.num_gpus(), 2);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property tests for the kernel analyzer: every plan the analytical
+//! model emits must be hardware-feasible, bounded, and monotone in the
+//! ways the paper's constraints imply.
+
+use glp4nn::analyzer::{analyze_profiles, KernelProfile};
+use gpu_sim::DeviceProps;
+use proptest::prelude::*;
+
+fn arb_profile(i: usize) -> impl Strategy<Value = KernelProfile> {
+    (
+        1u64..2000,            // grid blocks
+        1u32..9,               // warps per block (threads = w * 32)
+        0u32..3,               // smem selector
+        1_000u64..10_000_000,  // duration ns
+    )
+        .prop_map(move |(grid, warps, smem_sel, dur)| KernelProfile {
+            name: format!("k{i}"),
+            grid_blocks: grid,
+            threads_per_block: warps * 32,
+            regs_per_thread: 32,
+            smem_per_block: [0u32, 4096, 16384][smem_sel as usize],
+            avg_duration_ns: dur,
+            instances: 8,
+        })
+}
+
+fn arb_profiles() -> impl Strategy<Value = Vec<KernelProfile>> {
+    prop::collection::vec(any::<u8>(), 1..5).prop_flat_map(|v| {
+        let strategies: Vec<_> = (0..v.len()).map(arb_profile).collect();
+        strategies
+    })
+}
+
+fn arb_device() -> impl Strategy<Value = DeviceProps> {
+    prop::sample::select(vec![
+        DeviceProps::k40c(),
+        DeviceProps::p100(),
+        DeviceProps::titan_xp(),
+    ])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Plans always exist, stay within 1..=C streams, and per-kernel
+    /// counts respect the Eq. 7 launch cap.
+    #[test]
+    fn plans_are_always_feasible(dev in arb_device(), profiles in arb_profiles()) {
+        let plan = analyze_profiles(&dev, &profiles);
+        prop_assert!(plan.streams >= 1);
+        prop_assert!(plan.streams <= dev.concurrency_degree());
+        prop_assert_eq!(plan.per_kernel.len(), profiles.len());
+        let total: u32 = plan.per_kernel.iter().map(|&(_, k)| k).sum();
+        prop_assert!(total <= dev.concurrency_degree());
+        for (p, &(_, k)) in profiles.iter().zip(&plan.per_kernel) {
+            let launch_cap = (p.avg_duration_ns as f64
+                / dev.launch_overhead_ns as f64)
+                .ceil()
+                .max(1.0) as u32;
+            prop_assert!(
+                k <= launch_cap.max(1),
+                "class {} got {} > launch cap {}",
+                p.name, k, launch_cap
+            );
+        }
+        // Every class's duration is recorded for the optimizer passes.
+        for p in &profiles {
+            prop_assert_eq!(plan.class_durations.get(&p.name), Some(&p.avg_duration_ns));
+        }
+    }
+
+    /// Stretching every kernel's duration (slower device / bigger work)
+    /// never *reduces* the planned concurrency: longer kernels leave more
+    /// launch-overhead headroom (Eq. 7 is monotone in T_K).
+    #[test]
+    fn longer_kernels_never_reduce_streams(
+        dev in arb_device(),
+        profiles in arb_profiles(),
+        factor in 2u64..10,
+    ) {
+        let short = analyze_profiles(&dev, &profiles);
+        let stretched: Vec<KernelProfile> = profiles
+            .iter()
+            .map(|p| KernelProfile {
+                avg_duration_ns: p.avg_duration_ns.saturating_mul(factor),
+                ..p.clone()
+            })
+            .collect();
+        let long = analyze_profiles(&dev, &stretched);
+        prop_assert!(
+            long.streams >= short.streams,
+            "stretching durations x{} dropped streams {} -> {}",
+            factor, short.streams, long.streams
+        );
+    }
+
+    /// The objective never exceeds what the thread constraint permits.
+    #[test]
+    fn objective_bounded_by_thread_capacity(dev in arb_device(), profiles in arb_profiles()) {
+        let plan = analyze_profiles(&dev, &profiles);
+        prop_assert!(plan.objective_threads_per_sm <= dev.max_threads_per_sm as f64 + 1e-6);
+        prop_assert!(plan.objective_threads_per_sm >= 0.0);
+    }
+
+    /// Determinism: the same inputs always give the same plan.
+    #[test]
+    fn analysis_is_deterministic(dev in arb_device(), profiles in arb_profiles()) {
+        let a = analyze_profiles(&dev, &profiles);
+        let b = analyze_profiles(&dev, &profiles);
+        prop_assert_eq!(a.per_kernel, b.per_kernel);
+        prop_assert_eq!(a.streams, b.streams);
+    }
+}

@@ -1,0 +1,236 @@
+//! Activity record types and their binary wire format.
+//!
+//! Records are fixed-layout little-endian structures plus a length-prefixed
+//! kernel name, mirroring CUPTI's `CUpti_ActivityKernel` records. The binary
+//! round-trip is what makes the buffer pool's memory accounting honest.
+
+use bytes::{Buf, BufMut};
+
+/// Kind of activity record (subset of CUPTI's activity kinds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivityKind {
+    /// A kernel execution (`CUPTI_ACTIVITY_KIND_KERNEL`).
+    Kernel,
+    /// A concurrent kernel execution record
+    /// (`CUPTI_ACTIVITY_KIND_CONCURRENT_KERNEL`).
+    ConcurrentKernel,
+}
+
+impl ActivityKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            ActivityKind::Kernel => 1,
+            ActivityKind::ConcurrentKernel => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(ActivityKind::Kernel),
+            2 => Some(ActivityKind::ConcurrentKernel),
+            _ => None,
+        }
+    }
+}
+
+/// One kernel activity record, as the resource tracker consumes it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActivityRecord {
+    /// Record kind.
+    pub kind: ActivityKind,
+    /// Kernel name.
+    pub name: String,
+    /// Correlation tag carried from the launch site (layer id etc.).
+    pub tag: u64,
+    /// Stream the kernel executed in.
+    pub stream: u32,
+    /// Grid dimensions.
+    pub grid: (u32, u32, u32),
+    /// Block dimensions.
+    pub block: (u32, u32, u32),
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static shared memory per block (bytes).
+    pub smem_static: u32,
+    /// Dynamic shared memory per block (bytes).
+    pub smem_dynamic: u32,
+    /// Execution start timestamp (ns).
+    pub start_ns: u64,
+    /// Execution end timestamp (ns).
+    pub end_ns: u64,
+}
+
+impl ActivityRecord {
+    /// Fixed-field portion of the encoded record, in bytes (everything but
+    /// the name bytes). This is the paper's `mem_K` unit: the per-kernel
+    /// configuration footprint.
+    pub const FIXED_ENCODED_BYTES: usize = 1 + 8 + 4 + 6 * 4 + 3 * 4 + 8 + 8 + 2;
+
+    /// Bytes of this record devoted to timestamps (`mem_tt` unit).
+    pub const TIMESTAMP_BYTES: usize = 16;
+
+    /// Total encoded size of this record.
+    pub fn encoded_len(&self) -> usize {
+        Self::FIXED_ENCODED_BYTES + self.name.len()
+    }
+
+    /// Kernel duration in ns.
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+
+    /// Serialize into `buf` (little-endian, name length-prefixed u16).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u8(self.kind.to_u8());
+        buf.put_u64_le(self.tag);
+        buf.put_u32_le(self.stream);
+        buf.put_u32_le(self.grid.0);
+        buf.put_u32_le(self.grid.1);
+        buf.put_u32_le(self.grid.2);
+        buf.put_u32_le(self.block.0);
+        buf.put_u32_le(self.block.1);
+        buf.put_u32_le(self.block.2);
+        buf.put_u32_le(self.regs_per_thread);
+        buf.put_u32_le(self.smem_static);
+        buf.put_u32_le(self.smem_dynamic);
+        buf.put_u64_le(self.start_ns);
+        buf.put_u64_le(self.end_ns);
+        buf.put_u16_le(self.name.len() as u16);
+        buf.put_slice(self.name.as_bytes());
+    }
+
+    /// Deserialize one record from `buf`; `None` on malformed input.
+    pub fn decode<B: Buf>(buf: &mut B) -> Option<Self> {
+        if buf.remaining() < Self::FIXED_ENCODED_BYTES {
+            return None;
+        }
+        let kind = ActivityKind::from_u8(buf.get_u8())?;
+        let tag = buf.get_u64_le();
+        let stream = buf.get_u32_le();
+        let grid = (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
+        let block = (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
+        let regs_per_thread = buf.get_u32_le();
+        let smem_static = buf.get_u32_le();
+        let smem_dynamic = buf.get_u32_le();
+        let start_ns = buf.get_u64_le();
+        let end_ns = buf.get_u64_le();
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len {
+            return None;
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).ok()?;
+        Some(ActivityRecord {
+            kind,
+            name,
+            tag,
+            stream,
+            grid,
+            block,
+            regs_per_thread,
+            smem_static,
+            smem_dynamic,
+            start_ns,
+            end_ns,
+        })
+    }
+
+    /// Build a record from a simulator kernel trace.
+    pub fn from_trace(t: &gpu_sim::KernelTrace) -> Self {
+        ActivityRecord {
+            kind: if t.stream.is_default() {
+                ActivityKind::Kernel
+            } else {
+                ActivityKind::ConcurrentKernel
+            },
+            name: t.name.clone(),
+            tag: t.tag,
+            stream: t.stream.raw(),
+            grid: (t.launch.grid.x, t.launch.grid.y, t.launch.grid.z),
+            block: (t.launch.block.x, t.launch.block.y, t.launch.block.z),
+            regs_per_thread: t.launch.regs_per_thread,
+            smem_static: t.launch.smem_static,
+            smem_dynamic: t.launch.smem_dynamic,
+            start_ns: t.start_ns,
+            end_ns: t.end_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn sample() -> ActivityRecord {
+        ActivityRecord {
+            kind: ActivityKind::ConcurrentKernel,
+            name: "sgemm_128x64".to_string(),
+            tag: 42,
+            stream: 3,
+            grid: (18, 1, 1),
+            block: (256, 1, 1),
+            regs_per_thread: 33,
+            smem_static: 4096,
+            smem_dynamic: 512,
+            start_ns: 1_000,
+            end_ns: 51_000,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let r = sample();
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        assert_eq!(buf.len(), r.encoded_len());
+        let mut cur = buf.freeze();
+        let back = ActivityRecord::decode(&mut cur).unwrap();
+        assert_eq!(back, r);
+        assert_eq!(cur.remaining(), 0);
+    }
+
+    #[test]
+    fn multiple_records_in_sequence() {
+        let mut buf = BytesMut::new();
+        let a = sample();
+        let mut b = sample();
+        b.name = "im2col".to_string();
+        b.tag = 7;
+        a.encode(&mut buf);
+        b.encode(&mut buf);
+        let mut cur = buf.freeze();
+        assert_eq!(ActivityRecord::decode(&mut cur).unwrap(), a);
+        assert_eq!(ActivityRecord::decode(&mut cur).unwrap(), b);
+        assert!(ActivityRecord::decode(&mut cur).is_none());
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let r = sample();
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let truncated = buf.freeze().slice(0..10);
+        let mut cur = truncated;
+        assert!(ActivityRecord::decode(&mut cur).is_none());
+    }
+
+    #[test]
+    fn duration_and_sizes() {
+        let r = sample();
+        assert_eq!(r.duration_ns(), 50_000);
+        assert_eq!(ActivityRecord::TIMESTAMP_BYTES, 16);
+        assert!(r.encoded_len() > ActivityRecord::FIXED_ENCODED_BYTES);
+    }
+
+    #[test]
+    fn kind_codes() {
+        assert_eq!(ActivityKind::from_u8(1), Some(ActivityKind::Kernel));
+        assert_eq!(
+            ActivityKind::from_u8(2),
+            Some(ActivityKind::ConcurrentKernel)
+        );
+        assert_eq!(ActivityKind::from_u8(99), None);
+    }
+}

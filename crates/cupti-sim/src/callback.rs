@@ -1,0 +1,145 @@
+//! The CUPTI *Callback API* counterpart to the activity API.
+//!
+//! Real CUPTI exposes two collection mechanisms: the asynchronous
+//! *activity* API (buffered records — [`crate::subscriber::Profiler`])
+//! and the synchronous *callback* API, which invokes client code inside
+//! every instrumented driver call. GLP4NN's compact tracker uses the
+//! activity path for timing, but the callback path is how launch
+//! *configurations* can be captured at submission time with zero
+//! buffering delay. This module provides that path over the simulator's
+//! launch hook.
+
+use gpu_sim::{Device, KernelDesc, SimTime, StreamId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One intercepted driver API call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApiCallRecord {
+    /// Kernel name passed to the launch.
+    pub kernel: String,
+    /// Correlation tag.
+    pub tag: u64,
+    /// Target stream.
+    pub stream: u32,
+    /// Grid block count.
+    pub grid_blocks: u64,
+    /// Threads per block.
+    pub threads_per_block: u32,
+    /// Host time at which the launch call returned (ns).
+    pub host_time_ns: SimTime,
+}
+
+/// A callback-API subscriber: cheap, synchronous capture of every kernel
+/// launch on a device. Clone the handle to read records while attached.
+#[derive(Debug, Clone, Default)]
+pub struct CallbackSubscriber {
+    records: Arc<Mutex<Vec<ApiCallRecord>>>,
+}
+
+impl CallbackSubscriber {
+    /// New subscriber with no records.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install this subscriber on `dev` (replaces any previous hook).
+    pub fn attach(&self, dev: &mut Device) {
+        let records = Arc::clone(&self.records);
+        dev.set_launch_hook(Box::new(
+            move |desc: &KernelDesc, stream: StreamId, host_time: SimTime| {
+                records.lock().push(ApiCallRecord {
+                    kernel: desc.name.clone(),
+                    tag: desc.tag,
+                    stream: stream.raw(),
+                    grid_blocks: desc.launch.num_blocks(),
+                    threads_per_block: desc.launch.threads_per_block(),
+                    host_time_ns: host_time,
+                });
+            },
+        ));
+    }
+
+    /// Stop receiving callbacks from `dev`.
+    pub fn detach(&self, dev: &mut Device) {
+        dev.clear_launch_hook();
+    }
+
+    /// Number of launches intercepted so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether nothing has been intercepted.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Take all records collected so far.
+    pub fn drain(&self) -> Vec<ApiCallRecord> {
+        std::mem::take(&mut *self.records.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceProps, Dim3, KernelCost, LaunchConfig};
+
+    fn kernel(name: &str, tag: u64) -> KernelDesc {
+        KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(4), Dim3::linear(128), 16, 0),
+            KernelCost::new(1.0e5, 1.0e4),
+        )
+        .with_tag(tag)
+    }
+
+    #[test]
+    fn intercepts_launches_synchronously() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let sub = CallbackSubscriber::new();
+        sub.attach(&mut dev);
+        let s = dev.create_stream();
+        dev.launch(s, kernel("im2col", 1));
+        // Record exists *before* any simulation runs — callback, not
+        // activity, semantics.
+        assert_eq!(sub.len(), 1);
+        dev.launch(s, kernel("sgemm", 2));
+        dev.run();
+        let recs = sub.drain();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kernel, "im2col");
+        assert_eq!(recs[0].tag, 1);
+        assert_eq!(recs[0].grid_blocks, 4);
+        assert_eq!(recs[0].threads_per_block, 128);
+        assert_eq!(recs[1].kernel, "sgemm");
+        // Host launch times are serialized by T_launch.
+        assert!(recs[1].host_time_ns >= recs[0].host_time_ns + dev.props().launch_overhead_ns);
+    }
+
+    #[test]
+    fn detach_stops_interception() {
+        let mut dev = Device::new(DeviceProps::k40c());
+        let sub = CallbackSubscriber::new();
+        sub.attach(&mut dev);
+        let s = dev.create_stream();
+        dev.launch(s, kernel("a", 0));
+        sub.detach(&mut dev);
+        dev.launch(s, kernel("b", 0));
+        assert_eq!(sub.len(), 1);
+        assert_eq!(sub.drain()[0].kernel, "a");
+        assert!(sub.is_empty());
+    }
+
+    #[test]
+    fn handles_are_shared() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let sub = CallbackSubscriber::new();
+        let reader = sub.clone();
+        sub.attach(&mut dev);
+        let s = dev.create_stream();
+        dev.launch(s, kernel("k", 0));
+        assert_eq!(reader.len(), 1, "cloned handle sees the same records");
+    }
+}

@@ -1,0 +1,113 @@
+//! Space/time overhead accounting (Eqs. 10-12 of the paper).
+//!
+//! `mem_total = mem_tt + mem_K + mem_cupti`: timestamp memory and
+//! configuration memory scale with the number of kernels recorded
+//! (Eq. 11), while `mem_cupti` is the resident buffer-pool footprint fixed
+//! by the CUPTI runtime. All three live in **host** memory — they never
+//! compete with training data on the device — and are released once kernel
+//! analysis finishes.
+
+use crate::activity::ActivityRecord;
+use std::time::Duration;
+
+/// Memory and time overhead of the profiler, per the paper's cost model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilerOverhead {
+    /// Bytes devoted to kernel timestamps (`mem_tt`).
+    pub mem_tt_bytes: usize,
+    /// Bytes devoted to kernel execution configurations (`mem_K`).
+    pub mem_k_bytes: usize,
+    /// Resident bytes pinned by the buffer pool (`mem_cupti`).
+    pub mem_cupti_bytes: usize,
+    /// Kernels recorded.
+    pub kernels_recorded: usize,
+    /// Accumulated real profiling time (`T_p`).
+    pub t_p: Duration,
+}
+
+impl ProfilerOverhead {
+    /// Fresh accounting for a pool of `pool_resident_bytes`.
+    pub fn new(pool_resident_bytes: usize) -> Self {
+        ProfilerOverhead {
+            mem_tt_bytes: 0,
+            mem_k_bytes: 0,
+            mem_cupti_bytes: pool_resident_bytes,
+            kernels_recorded: 0,
+            t_p: Duration::ZERO,
+        }
+    }
+
+    /// Account one recorded kernel (Eq. 11 terms).
+    pub fn account_record(&mut self, rec: &ActivityRecord) {
+        self.mem_tt_bytes += ActivityRecord::TIMESTAMP_BYTES;
+        self.mem_k_bytes += rec.encoded_len() - ActivityRecord::TIMESTAMP_BYTES;
+        self.kernels_recorded += 1;
+    }
+
+    /// Accrue real profiling time (`T_p`).
+    pub fn add_profiling_time(&mut self, d: Duration) {
+        self.t_p += d;
+    }
+
+    /// `mem_total` (Eq. 10).
+    pub fn mem_total_bytes(&self) -> usize {
+        self.mem_tt_bytes + self.mem_k_bytes + self.mem_cupti_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity::ActivityKind;
+
+    fn rec(name: &str) -> ActivityRecord {
+        ActivityRecord {
+            kind: ActivityKind::Kernel,
+            name: name.to_string(),
+            tag: 0,
+            stream: 0,
+            grid: (1, 1, 1),
+            block: (64, 1, 1),
+            regs_per_thread: 8,
+            smem_static: 0,
+            smem_dynamic: 0,
+            start_ns: 0,
+            end_ns: 100,
+        }
+    }
+
+    #[test]
+    fn eq10_total_is_sum_of_parts() {
+        let mut o = ProfilerOverhead::new(1024);
+        o.account_record(&rec("abc"));
+        o.account_record(&rec("defgh"));
+        assert_eq!(
+            o.mem_total_bytes(),
+            o.mem_tt_bytes + o.mem_k_bytes + o.mem_cupti_bytes
+        );
+        assert_eq!(o.kernels_recorded, 2);
+    }
+
+    #[test]
+    fn eq11_scales_with_kernel_count() {
+        let mut o = ProfilerOverhead::new(0);
+        for _ in 0..10 {
+            o.account_record(&rec("k"));
+        }
+        assert_eq!(o.mem_tt_bytes, 160);
+        let per_k = ActivityRecord {
+            ..rec("k")
+        }
+        .encoded_len()
+            - ActivityRecord::TIMESTAMP_BYTES;
+        assert_eq!(o.mem_k_bytes, 10 * per_k);
+    }
+
+    #[test]
+    fn time_accumulates() {
+        let mut o = ProfilerOverhead::new(0);
+        o.add_profiling_time(Duration::from_micros(5));
+        o.add_profiling_time(Duration::from_micros(7));
+        assert_eq!(o.t_p, Duration::from_micros(12));
+    }
+}

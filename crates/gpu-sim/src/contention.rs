@@ -1,0 +1,98 @@
+//! DRAM bandwidth contention model.
+//!
+//! Every resident block carries a nominal bandwidth demand (bytes it moves
+//! divided by its uncontended duration). When the sum of demands across the
+//! device exceeds peak bandwidth, newly placed blocks are slowed by the
+//! over-subscription factor. The factor is fixed at block start (durations
+//! of already-running blocks are not retroactively stretched) — a standard
+//! DES simplification that keeps the event count linear in blocks while
+//! still making over-parallelization unprofitable, which is the behaviour
+//! GLP4NN's analytical model must reproduce / avoid.
+
+use crate::device::DeviceProps;
+
+/// Tracks aggregate bandwidth demand of currently-executing blocks.
+#[derive(Debug, Clone)]
+pub struct BandwidthTracker {
+    peak_bytes_per_s: f64,
+    demand_bytes_per_s: f64,
+}
+
+impl BandwidthTracker {
+    /// Tracker for a device's peak DRAM bandwidth.
+    pub fn new(dev: &DeviceProps) -> Self {
+        BandwidthTracker {
+            peak_bytes_per_s: dev.mem_bw_gbps * 1e9,
+            demand_bytes_per_s: 0.0,
+        }
+    }
+
+    /// Register a block's demand; returns the slowdown factor (≥ 1) to apply
+    /// to that block's nominal duration.
+    pub fn place(&mut self, demand: f64) -> f64 {
+        self.demand_bytes_per_s += demand;
+        self.factor()
+    }
+
+    /// Remove a retired block's demand.
+    pub fn retire(&mut self, demand: f64) {
+        self.demand_bytes_per_s = (self.demand_bytes_per_s - demand).max(0.0);
+    }
+
+    /// Current over-subscription factor (1.0 when demand ≤ peak).
+    pub fn factor(&self) -> f64 {
+        if self.demand_bytes_per_s <= self.peak_bytes_per_s {
+            1.0
+        } else {
+            self.demand_bytes_per_s / self.peak_bytes_per_s
+        }
+    }
+
+    /// Current aggregate demand in bytes/s.
+    pub fn demand(&self) -> f64 {
+        self.demand_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_slowdown_under_subscription() {
+        let dev = DeviceProps::p100(); // 549 GB/s
+        let mut t = BandwidthTracker::new(&dev);
+        assert_eq!(t.place(100.0e9), 1.0);
+        assert_eq!(t.place(200.0e9), 1.0);
+        assert!((t.demand() - 300.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn slowdown_proportional_to_oversubscription() {
+        let dev = DeviceProps::p100();
+        let mut t = BandwidthTracker::new(&dev);
+        t.place(549.0e9);
+        let f = t.place(549.0e9); // 2x peak
+        assert!((f - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retire_restores_capacity() {
+        let dev = DeviceProps::k40c(); // 288 GB/s
+        let mut t = BandwidthTracker::new(&dev);
+        t.place(288.0e9);
+        t.place(288.0e9);
+        t.retire(288.0e9);
+        assert!((t.factor() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn retire_never_goes_negative() {
+        let dev = DeviceProps::k40c();
+        let mut t = BandwidthTracker::new(&dev);
+        t.place(1.0e9);
+        t.retire(5.0e9);
+        assert!(t.demand() >= 0.0);
+        assert_eq!(t.factor(), 1.0);
+    }
+}

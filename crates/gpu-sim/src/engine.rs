@@ -1,0 +1,776 @@
+//! The discrete-event simulation core.
+//!
+//! Execution model:
+//!
+//! 1. The host enqueues commands ([`Device::launch`], [`Device::record_event`],
+//!    [`Device::wait_event`]) into streams. A single host dispatcher thread
+//!    issues launches serially — each launch call advances the host clock by
+//!    `T_launch` (GLP4NN deliberately uses one dispatch thread instead of a
+//!    thread per stream; the launch-rate limit this creates is captured by
+//!    Eq. 7 of the paper).
+//! 2. [`Device::run`] plays the simulation forward until all streams drain.
+//!    A kernel becomes *ready* when it reaches the front of its stream and
+//!    its launch has been issued; ready kernels become *active* as hardware
+//!    concurrency slots (at most `C` of them, Table 1) free up.
+//! 3. Active kernels issue thread blocks onto SMs in round-robin bursts:
+//!    every placement takes as many blocks as currently fit under the SM's
+//!    thread/block/shared-memory/register limits. Burst duration follows
+//!    the kernel's roofline cost stretched by the DRAM contention factor at
+//!    placement time.
+//! 4. When a kernel's last block retires the kernel completes, its stream
+//!    advances (possibly completing events and unblocking waiters), and a
+//!    pending kernel takes its concurrency slot.
+//!
+//! The simulation is fully deterministic.
+
+use crate::contention::BandwidthTracker;
+use crate::device::DeviceProps;
+use crate::kernel::{KernelDesc, KernelId};
+use crate::sm::{BlockFootprint, SmState};
+use crate::stats::DeviceStats;
+use crate::stream::{Command, EventId, EventState, StreamId, StreamState};
+use crate::timeline::KernelTrace;
+use crate::SimTime;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Kernel lifecycle inside the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KState {
+    /// Still queued behind other commands in its stream.
+    Queued,
+    /// At stream front but its host launch has not been issued yet.
+    WaitingHost,
+    /// Ready to execute, waiting for a hardware concurrency slot.
+    Pending,
+    /// Holding a concurrency slot, issuing/executing blocks.
+    Active,
+    /// All blocks retired.
+    Done,
+}
+
+#[derive(Debug)]
+struct KernelRuntime {
+    desc: KernelDesc,
+    stream: StreamId,
+    /// Host time at which the launch call completed.
+    launch_issued: SimTime,
+    blocks_total: u64,
+    blocks_issued: u64,
+    blocks_done: u64,
+    start: Option<SimTime>,
+    end: Option<SimTime>,
+    state: KState,
+    footprint: BlockFootprint,
+    nominal_block_ns: SimTime,
+    bw_demand: f64,
+}
+
+/// Heap events.
+#[derive(Debug, PartialEq, Eq)]
+enum EvKind {
+    /// `count` blocks of a kernel finish on an SM.
+    BurstDone {
+        kernel: KernelId,
+        sm: usize,
+        count: u64,
+        demand_milli: u64,
+    },
+    /// A host launch time arrives for a kernel at its stream front.
+    HostReady(KernelId),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Ev {
+    time: SimTime,
+    seq: u64,
+    kind: EvKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Synchronous launch-interception hook (the driver-API callback site a
+/// CUPTI-style callback API subscribes to). Invoked inside
+/// [`Device::launch`] with the descriptor, target stream, and the host
+/// time at which the launch call completed.
+pub type LaunchHook = Box<dyn FnMut(&KernelDesc, StreamId, SimTime)>;
+
+/// A simulated GPU device.
+///
+/// See the [crate-level docs](crate) for the execution model.
+pub struct Device {
+    props: DeviceProps,
+    clock: SimTime,
+    host_clock: SimTime,
+    launch_hook: Option<LaunchHook>,
+    streams: Vec<StreamState>,
+    events: Vec<EventState>,
+    event_waiters: Vec<Vec<StreamId>>,
+    kernels: Vec<KernelRuntime>,
+    sms: Vec<SmState>,
+    bw: BandwidthTracker,
+    /// Kernels holding a concurrency slot.
+    active: Vec<KernelId>,
+    /// Ready kernels waiting for a slot (FIFO).
+    pending: VecDeque<KernelId>,
+    heap: BinaryHeap<Reverse<Ev>>,
+    seq: u64,
+    trace: Vec<KernelTrace>,
+}
+
+impl Device {
+    /// Create a device with its default stream (stream 0).
+    pub fn new(props: DeviceProps) -> Self {
+        let sms = vec![SmState::new(); props.num_sms as usize];
+        let bw = BandwidthTracker::new(&props);
+        Device {
+            props,
+            clock: 0,
+            host_clock: 0,
+            launch_hook: None,
+            streams: vec![StreamState::default()],
+            events: Vec::new(),
+            event_waiters: Vec::new(),
+            kernels: Vec::new(),
+            sms,
+            bw,
+            active: Vec::new(),
+            pending: VecDeque::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    /// Device properties.
+    pub fn props(&self) -> &DeviceProps {
+        &self.props
+    }
+
+    /// Install a synchronous launch-interception hook (at most one; the
+    /// CUPTI-style callback API multiplexes its own subscribers on top).
+    pub fn set_launch_hook(&mut self, hook: LaunchHook) {
+        self.launch_hook = Some(hook);
+    }
+
+    /// Remove the launch hook.
+    pub fn clear_launch_hook(&mut self) {
+        self.launch_hook = None;
+    }
+
+    /// Current simulated device time (ns).
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Create a new (non-default) stream.
+    pub fn create_stream(&mut self) -> StreamId {
+        self.streams.push(StreamState::default());
+        StreamId((self.streams.len() - 1) as u32)
+    }
+
+    /// The default stream.
+    pub fn default_stream(&self) -> StreamId {
+        StreamId::DEFAULT
+    }
+
+    /// Number of streams (including the default stream).
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Enqueue a kernel launch on `stream`. The host clock advances by the
+    /// launch overhead; the kernel cannot start before that point.
+    ///
+    /// # Panics
+    /// Panics if the grid or block is empty, the block exceeds the device's
+    /// max threads per block, or one block cannot fit on an empty SM.
+    pub fn launch(&mut self, stream: StreamId, desc: KernelDesc) -> KernelId {
+        assert!(desc.launch.num_blocks() > 0, "empty grid");
+        let tpb = desc.launch.threads_per_block();
+        assert!(tpb > 0, "empty block");
+        assert!(
+            tpb <= self.props.max_threads_per_block,
+            "block of {} threads exceeds device limit {}",
+            tpb,
+            self.props.max_threads_per_block
+        );
+        let footprint = BlockFootprint::of(&self.props, &desc.launch);
+        assert!(
+            SmState::new().fits(&self.props, &footprint),
+            "kernel {} block does not fit on an empty SM",
+            desc.name
+        );
+
+        // Host launch serialization: the dispatcher cannot issue before the
+        // device-side present either (enqueue happens in host real time,
+        // which we pin to the device clock at enqueue).
+        self.host_clock = self.host_clock.max(self.clock) + self.props.launch_overhead_ns;
+        let id = KernelId(self.kernels.len() as u64);
+        let nominal = desc.cost.nominal_block_time_ns(&self.props, tpb);
+        let demand = desc.cost.bandwidth_demand(&self.props, tpb);
+        self.kernels.push(KernelRuntime {
+            blocks_total: desc.launch.num_blocks(),
+            blocks_issued: 0,
+            blocks_done: 0,
+            start: None,
+            end: None,
+            state: KState::Queued,
+            stream,
+            launch_issued: self.host_clock,
+            footprint,
+            nominal_block_ns: nominal,
+            bw_demand: demand,
+            desc,
+        });
+        if let Some(hook) = self.launch_hook.as_mut() {
+            hook(&self.kernels[id.0 as usize].desc, stream, self.host_clock);
+        }
+        self.streams[stream.0 as usize]
+            .queue
+            .push_back(Command::Launch(id, self.kernels[id.0 as usize].desc.clone()));
+        id
+    }
+
+    /// Create an event (not yet recorded).
+    pub fn create_event(&mut self) -> EventId {
+        self.events.push(EventState::Created);
+        self.event_waiters.push(Vec::new());
+        EventId((self.events.len() - 1) as u64)
+    }
+
+    /// Record `event` into `stream`: it completes when all prior work in
+    /// the stream completes.
+    pub fn record_event(&mut self, stream: StreamId, event: EventId) {
+        self.events[event.0 as usize] = EventState::Pending;
+        self.streams[stream.0 as usize]
+            .queue
+            .push_back(Command::RecordEvent(event));
+    }
+
+    /// Make `stream` wait for `event` before executing subsequent commands.
+    pub fn wait_event(&mut self, stream: StreamId, event: EventId) {
+        self.streams[stream.0 as usize]
+            .queue
+            .push_back(Command::WaitEvent(event));
+    }
+
+    /// Completion time of `event`, if completed.
+    pub fn event_time(&self, event: EventId) -> Option<SimTime> {
+        match self.events[event.0 as usize] {
+            EventState::Completed(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Kernel execution interval `(start, end)`, available after [`run`].
+    ///
+    /// [`run`]: Device::run
+    pub fn kernel_span(&self, id: KernelId) -> Option<(SimTime, SimTime)> {
+        let k = &self.kernels[id.0 as usize];
+        match (k.start, k.end) {
+            (Some(s), Some(e)) => Some((s, e)),
+            _ => None,
+        }
+    }
+
+    /// All kernel traces so far, in launch order.
+    pub fn trace(&self) -> &[KernelTrace] {
+        &self.trace
+    }
+
+    /// Utilization statistics over everything simulated so far.
+    pub fn stats(&self) -> DeviceStats {
+        DeviceStats::from_parts(&self.props, &self.sms, &self.trace, self.clock)
+    }
+
+    /// Run the simulation until all streams drain; returns the final
+    /// simulated time.
+    pub fn run(&mut self) -> SimTime {
+        // Kick all streams at the current time.
+        for s in 0..self.streams.len() {
+            self.advance_stream(StreamId(s as u32));
+        }
+        self.dispatch(self.clock);
+
+        while let Some(Reverse(ev)) = self.heap.pop() {
+            debug_assert!(ev.time >= self.clock, "time went backwards");
+            self.clock = ev.time;
+            match ev.kind {
+                EvKind::BurstDone {
+                    kernel,
+                    sm,
+                    count,
+                    demand_milli,
+                } => self.on_burst_done(kernel, sm, count, demand_milli),
+                EvKind::HostReady(k) => self.on_host_ready(k),
+            }
+            self.dispatch(self.clock);
+        }
+
+        debug_assert!(
+            self.streams.iter().all(|s| s.is_idle()),
+            "heap drained with non-idle streams (unsatisfiable event wait?)"
+        );
+        self.clock
+    }
+
+    /// Convenience: wait for everything previously enqueued, like
+    /// `cudaDeviceSynchronize`. Returns the completion time.
+    pub fn synchronize(&mut self) -> SimTime {
+        self.run()
+    }
+
+    // ----- internals -------------------------------------------------
+
+    fn push_ev(&mut self, time: SimTime, kind: EvKind) {
+        self.seq += 1;
+        self.heap.push(Reverse(Ev {
+            time,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    /// Pop and process stream commands until the stream blocks.
+    fn advance_stream(&mut self, sid: StreamId) {
+        let s = sid.0 as usize;
+        loop {
+            if self.streams[s].inflight.is_some() {
+                return; // in-order: wait for the running kernel
+            }
+            let Some(cmd) = self.streams[s].queue.front() else {
+                self.streams[s].last_idle = self.clock;
+                return;
+            };
+            match cmd {
+                Command::Launch(id, _) => {
+                    let id = *id;
+                    let k = &mut self.kernels[id.0 as usize];
+                    if k.launch_issued > self.clock {
+                        // Host has not issued this launch yet.
+                        if k.state == KState::Queued {
+                            k.state = KState::WaitingHost;
+                            let t = k.launch_issued;
+                            self.push_ev(t, EvKind::HostReady(id));
+                        }
+                        return;
+                    }
+                    self.streams[s].queue.pop_front();
+                    self.streams[s].inflight = Some(id);
+                    self.make_ready(id);
+                    return; // in-order: nothing further until it completes
+                }
+                Command::RecordEvent(ev) => {
+                    let ev = *ev;
+                    self.streams[s].queue.pop_front();
+                    self.complete_event(ev);
+                }
+                Command::WaitEvent(ev) => {
+                    let ev = *ev;
+                    match self.events[ev.0 as usize] {
+                        EventState::Completed(_) => {
+                            self.streams[s].queue.pop_front();
+                        }
+                        _ => {
+                            // Block until the event completes.
+                            if !self.event_waiters[ev.0 as usize].contains(&sid) {
+                                self.event_waiters[ev.0 as usize].push(sid);
+                            }
+                            return;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn complete_event(&mut self, ev: EventId) {
+        self.events[ev.0 as usize] = EventState::Completed(self.clock);
+        let waiters = std::mem::take(&mut self.event_waiters[ev.0 as usize]);
+        for sid in waiters {
+            // Drop the WaitEvent at the waiter's front and continue it.
+            let s = sid.0 as usize;
+            if let Some(Command::WaitEvent(e)) = self.streams[s].queue.front() {
+                if *e == ev {
+                    self.streams[s].queue.pop_front();
+                }
+            }
+            self.advance_stream(sid);
+        }
+    }
+
+    /// A kernel reached its stream front with its launch issued.
+    fn make_ready(&mut self, id: KernelId) {
+        let c = self.props.concurrency_degree() as usize;
+        let k = &mut self.kernels[id.0 as usize];
+        debug_assert!(matches!(k.state, KState::Queued | KState::WaitingHost));
+        if self.active.len() < c {
+            k.state = KState::Active;
+            self.active.push(id);
+        } else {
+            k.state = KState::Pending;
+            self.pending.push_back(id);
+        }
+    }
+
+    fn on_host_ready(&mut self, id: KernelId) {
+        // The launch time arrived; the kernel may or may not still be at its
+        // stream front (it is, by in-order construction, unless already ready).
+        if self.kernels[id.0 as usize].state == KState::WaitingHost {
+            self.kernels[id.0 as usize].state = KState::Queued;
+            let sid = self.kernels[id.0 as usize].stream;
+            self.advance_stream(sid);
+        }
+    }
+
+    fn on_burst_done(&mut self, id: KernelId, sm: usize, count: u64, demand_milli: u64) {
+        let fp = self.kernels[id.0 as usize].footprint;
+        for _ in 0..count {
+            self.sms[sm].update(&self.props, self.clock, &fp, false);
+        }
+        self.bw.retire(demand_milli as f64 / 1000.0);
+        let k = &mut self.kernels[id.0 as usize];
+        k.blocks_done += count;
+        debug_assert!(k.blocks_done <= k.blocks_total);
+        if k.blocks_done == k.blocks_total {
+            k.end = Some(self.clock);
+            k.state = KState::Done;
+            let sid = k.stream;
+            self.trace.push(KernelTrace::from_runtime(
+                id,
+                &self.kernels[id.0 as usize].desc,
+                sid,
+                self.kernels[id.0 as usize].launch_issued,
+                self.kernels[id.0 as usize].start.unwrap_or(self.clock),
+                self.clock,
+            ));
+            self.active.retain(|&a| a != id);
+            if let Some(next) = self.pending.pop_front() {
+                self.kernels[next.0 as usize].state = KState::Active;
+                self.active.push(next);
+            }
+            self.streams[sid.0 as usize].inflight = None;
+            self.advance_stream(sid);
+        }
+    }
+
+    /// Place as many blocks of active kernels as fit, round-robin across
+    /// kernels, bursting per SM.
+    fn dispatch(&mut self, now: SimTime) {
+        loop {
+            let mut placed_any = false;
+            // Round-robin one SM-burst per kernel per pass.
+            let actives: Vec<KernelId> = self.active.clone();
+            for id in actives {
+                let (remaining, fp, nominal, demand) = {
+                    let k = &self.kernels[id.0 as usize];
+                    if k.state != KState::Active {
+                        continue;
+                    }
+                    (
+                        k.blocks_total - k.blocks_issued,
+                        k.footprint,
+                        k.nominal_block_ns,
+                        k.bw_demand,
+                    )
+                };
+                if remaining == 0 {
+                    continue;
+                }
+                let _ = nominal;
+                // Wave placement: spread blocks one-per-SM in rotation,
+                // like the hardware block scheduler, until the grid is
+                // exhausted or no SM has room.
+                let num_sms = self.sms.len();
+                let mut per_sm = vec![0u64; num_sms];
+                let mut placed_total = 0u64;
+                let mut progress = true;
+                while placed_total < remaining && progress {
+                    progress = false;
+                    for smi in 0..num_sms {
+                        if placed_total >= remaining {
+                            break;
+                        }
+                        if self.sms[smi].fits(&self.props, &fp) {
+                            self.sms[smi].update(&self.props, now, &fp, true);
+                            per_sm[smi] += 1;
+                            placed_total += 1;
+                            progress = true;
+                        }
+                    }
+                }
+                if placed_total == 0 {
+                    continue;
+                }
+                let factor = self.bw.place(demand * placed_total as f64);
+                // Residency-aware burst duration: SM issue throughput
+                // scales with resident warps up to `warps_for_peak`
+                // (latency hiding), then is shared warp-proportionally.
+                let cost = self.kernels[id.0 as usize].desc.cost;
+                let w_block = fp.threads.div_ceil(self.props.warp_size).max(1);
+                let bw_share = self.props.mem_bw_gbps * 1e9 / self.props.num_sms as f64;
+                for (smi, &n) in per_sm.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    let w_total = self.sms[smi]
+                        .threads_used
+                        .div_ceil(self.props.warp_size)
+                        .max(w_block);
+                    let rate_c = self.props.sm_peak_flops() * w_block as f64
+                        / w_total.max(self.props.warps_for_peak) as f64;
+                    let t_c = if cost.flops_per_block > 0.0 {
+                        cost.flops_per_block / rate_c
+                    } else {
+                        0.0
+                    };
+                    let t_m = if cost.dram_bytes_per_block > 0.0 {
+                        cost.dram_bytes_per_block / bw_share * factor
+                    } else {
+                        0.0
+                    };
+                    // The shared rate above already splits the SM among all
+                    // resident warps, so the n co-resident blocks of this
+                    // burst progress in parallel and retire together.
+                    let dur = (t_c.max(t_m) * 1e9 + 1000.0).ceil() as SimTime;
+                    self.push_ev(
+                        now + dur.max(1),
+                        EvKind::BurstDone {
+                            kernel: id,
+                            sm: smi,
+                            count: n,
+                            demand_milli: (demand * n as f64 * 1000.0).round() as u64,
+                        },
+                    );
+                }
+                let k = &mut self.kernels[id.0 as usize];
+                k.blocks_issued += placed_total;
+                if k.start.is_none() {
+                    k.start = Some(now);
+                }
+                placed_any = true;
+            }
+            if !placed_any {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Dim3, KernelCost, KernelDesc, LaunchConfig};
+
+    fn kernel(name: &str, blocks: u32, threads: u32, flops: f64) -> KernelDesc {
+        KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(blocks), Dim3::linear(threads), 32, 0),
+            KernelCost::new(flops, flops / 4.0),
+        )
+    }
+
+    #[test]
+    fn single_kernel_completes() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s = dev.create_stream();
+        let id = dev.launch(s, kernel("k", 56, 256, 1.0e6));
+        let end = dev.run();
+        let (start, fin) = dev.kernel_span(id).unwrap();
+        assert!(start >= dev.props().launch_overhead_ns);
+        assert!(fin > start);
+        assert_eq!(fin, end);
+        assert_eq!(dev.trace().len(), 1);
+    }
+
+    #[test]
+    fn same_stream_serializes() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s = dev.create_stream();
+        let a = dev.launch(s, kernel("a", 56, 256, 1.0e7));
+        let b = dev.launch(s, kernel("b", 56, 256, 1.0e7));
+        dev.run();
+        let (_, a_end) = dev.kernel_span(a).unwrap();
+        let (b_start, _) = dev.kernel_span(b).unwrap();
+        assert!(b_start >= a_end, "in-order stream must serialize");
+    }
+
+    #[test]
+    fn different_streams_overlap() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        // Small grids so both kernels fit on the device simultaneously.
+        let a = dev.launch(s1, kernel("a", 28, 256, 5.0e7));
+        let b = dev.launch(s2, kernel("b", 28, 256, 5.0e7));
+        dev.run();
+        let (a_s, a_e) = dev.kernel_span(a).unwrap();
+        let (b_s, b_e) = dev.kernel_span(b).unwrap();
+        let overlap = a_e.min(b_e).saturating_sub(a_s.max(b_s));
+        assert!(overlap > 0, "concurrent streams must overlap: {a_s}-{a_e} vs {b_s}-{b_e}");
+    }
+
+    #[test]
+    fn two_streams_faster_than_one_for_underfilling_kernels() {
+        // Kernels that fill only half the SMs: serial = 2T, concurrent ≈ T.
+        let run = |nstreams: usize| {
+            let mut dev = Device::new(DeviceProps::p100());
+            let streams: Vec<_> = (0..nstreams).map(|_| dev.create_stream()).collect();
+            for i in 0..2 {
+                dev.launch(streams[i % nstreams], kernel("k", 28, 512, 2.0e8));
+            }
+            dev.run()
+        };
+        let t1 = run(1);
+        let t2 = run(2);
+        assert!(
+            (t2 as f64) < (t1 as f64) * 0.75,
+            "2 streams should be clearly faster: t1={t1} t2={t2}"
+        );
+    }
+
+    #[test]
+    fn concurrency_degree_caps_active_kernels() {
+        // On Kepler (C=32) launching 40 tiny kernels: all complete, and the
+        // engine never holds more than C active (observable via pending
+        // FIFO — here we just assert completion and ordering sanity).
+        let mut dev = Device::new(DeviceProps::k40c());
+        let streams: Vec<_> = (0..40).map(|_| dev.create_stream()).collect();
+        let ids: Vec<_> = (0..40)
+            .map(|i| dev.launch(streams[i], kernel("t", 1, 64, 1.0e5)))
+            .collect();
+        dev.run();
+        for id in ids {
+            assert!(dev.kernel_span(id).is_some());
+        }
+        assert_eq!(dev.trace().len(), 40);
+    }
+
+    #[test]
+    fn launch_overhead_serializes_host() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let ovh = dev.props().launch_overhead_ns;
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        let a = dev.launch(s1, kernel("a", 1, 64, 1.0e5));
+        let b = dev.launch(s2, kernel("b", 1, 64, 1.0e5));
+        dev.run();
+        let (a_s, _) = dev.kernel_span(a).unwrap();
+        let (b_s, _) = dev.kernel_span(b).unwrap();
+        assert!(a_s >= ovh);
+        assert!(b_s >= 2 * ovh, "second launch pays two launch overheads");
+    }
+
+    #[test]
+    fn events_order_across_streams() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        let ev = dev.create_event();
+        let a = dev.launch(s1, kernel("a", 56, 256, 1.0e8));
+        dev.record_event(s1, ev);
+        dev.wait_event(s2, ev);
+        let b = dev.launch(s2, kernel("b", 56, 256, 1.0e6));
+        dev.run();
+        let (_, a_e) = dev.kernel_span(a).unwrap();
+        let (b_s, _) = dev.kernel_span(b).unwrap();
+        assert!(b_s >= a_e, "event wait must order b after a");
+        assert_eq!(dev.event_time(ev), Some(a_e));
+    }
+
+    #[test]
+    fn wait_on_already_completed_event_is_noop() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s1 = dev.create_stream();
+        let ev = dev.create_event();
+        dev.launch(s1, kernel("a", 1, 64, 1.0e5));
+        dev.record_event(s1, ev);
+        dev.run();
+        let s2 = dev.create_stream();
+        dev.wait_event(s2, ev);
+        let b = dev.launch(s2, kernel("b", 1, 64, 1.0e5));
+        dev.run();
+        assert!(dev.kernel_span(b).is_some());
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let build = || {
+            let mut dev = Device::new(DeviceProps::titan_xp());
+            let streams: Vec<_> = (0..4).map(|_| dev.create_stream()).collect();
+            for i in 0..12u32 {
+                dev.launch(
+                    streams[(i % 4) as usize],
+                    kernel(&format!("k{i}"), 10 + i, 128, 1.0e6 * (i + 1) as f64),
+                );
+            }
+            dev.run();
+            dev.trace()
+                .iter()
+                .map(|t| (t.start_ns, t.end_ns))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn clock_is_monotonic_across_runs() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s = dev.create_stream();
+        dev.launch(s, kernel("a", 8, 128, 1.0e6));
+        let t1 = dev.run();
+        dev.launch(s, kernel("b", 8, 128, 1.0e6));
+        let t2 = dev.run();
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_block_rejected() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s = dev.create_stream();
+        dev.launch(s, kernel("huge", 1, 2048, 1.0e5));
+    }
+
+    #[test]
+    fn concurrency_degree_one_forbids_overlap() {
+        // A Tesla-class device (C = 1, Table 1) cannot overlap kernels
+        // even across streams — Eq. 6's upper bound at its tightest.
+        let mut props = DeviceProps::p100();
+        props.arch = crate::device::Arch::Tesla;
+        let mut dev = Device::new(props);
+        let s1 = dev.create_stream();
+        let s2 = dev.create_stream();
+        let a = dev.launch(s1, kernel("a", 8, 256, 1.0e7));
+        let b = dev.launch(s2, kernel("b", 8, 256, 1.0e7));
+        dev.run();
+        let (a_s, a_e) = dev.kernel_span(a).unwrap();
+        let (b_s, b_e) = dev.kernel_span(b).unwrap();
+        let overlap = a_e.min(b_e).saturating_sub(a_s.max(b_s));
+        assert_eq!(overlap, 0, "C=1 must serialize everything");
+    }
+
+    #[test]
+    fn blocks_never_oversubscribe_sm() {
+        // Launch many kernels and verify (via stats) utilization ≤ 1.
+        let mut dev = Device::new(DeviceProps::k40c());
+        let streams: Vec<_> = (0..8).map(|_| dev.create_stream()).collect();
+        for i in 0..16u32 {
+            dev.launch(streams[(i % 8) as usize], kernel("k", 64, 256, 5.0e6));
+        }
+        dev.run();
+        let stats = dev.stats();
+        assert!(stats.avg_occupancy <= 1.0 + 1e-9);
+        assert!(stats.avg_occupancy > 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! Kernel descriptions: launch configuration and cost model inputs.
+
+use crate::device::DeviceProps;
+use crate::SimTime;
+
+/// A CUDA-style 3-dimensional extent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dim3 {
+    /// X extent.
+    pub x: u32,
+    /// Y extent.
+    pub y: u32,
+    /// Z extent.
+    pub z: u32,
+}
+
+impl Dim3 {
+    /// Build an explicit 3-D extent.
+    pub fn new(x: u32, y: u32, z: u32) -> Self {
+        Dim3 { x, y, z }
+    }
+
+    /// A 1-D extent `(n, 1, 1)`.
+    pub fn linear(n: u32) -> Self {
+        Dim3 { x: n, y: 1, z: 1 }
+    }
+
+    /// A 2-D extent `(x, y, 1)`.
+    pub fn plane(x: u32, y: u32) -> Self {
+        Dim3 { x, y, z: 1 }
+    }
+
+    /// Total number of elements.
+    pub fn count(self) -> u64 {
+        self.x as u64 * self.y as u64 * self.z as u64
+    }
+}
+
+impl std::fmt::Display for Dim3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{},{},{}]", self.x, self.y, self.z)
+    }
+}
+
+/// Kernel launch configuration: the "profiling input" notations of the
+/// paper's Table 2 (`#β_K`, `τ_K`, `sm_K`, registers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchConfig {
+    /// Grid dimensions (total blocks = `#β_K`).
+    pub grid: Dim3,
+    /// Block dimensions (threads per block = `τ_K`).
+    pub block: Dim3,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Static shared memory per block in bytes.
+    pub smem_static: u32,
+    /// Dynamic shared memory per block in bytes.
+    pub smem_dynamic: u32,
+}
+
+impl LaunchConfig {
+    /// Launch config with static shared memory only.
+    pub fn new(grid: Dim3, block: Dim3, regs_per_thread: u32, smem_static: u32) -> Self {
+        LaunchConfig {
+            grid,
+            block,
+            regs_per_thread,
+            smem_static,
+            smem_dynamic: 0,
+        }
+    }
+
+    /// Total number of thread blocks (`#β_K`).
+    pub fn num_blocks(&self) -> u64 {
+        self.grid.count()
+    }
+
+    /// Threads per block (`τ_K`).
+    pub fn threads_per_block(&self) -> u32 {
+        self.block.count() as u32
+    }
+
+    /// Shared memory per block (`sm_K` = static + dynamic).
+    pub fn smem_per_block(&self) -> u32 {
+        self.smem_static + self.smem_dynamic
+    }
+
+    /// Registers used by one block.
+    pub fn regs_per_block(&self) -> u32 {
+        self.regs_per_thread * self.threads_per_block()
+    }
+}
+
+/// Per-block work of a kernel, driving the simulator's cost model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Floating-point operations executed by one thread block.
+    pub flops_per_block: f64,
+    /// DRAM bytes moved (read + write) by one thread block.
+    pub dram_bytes_per_block: f64,
+}
+
+impl KernelCost {
+    /// Build a cost from per-block FLOPs and DRAM bytes.
+    pub fn new(flops_per_block: f64, dram_bytes_per_block: f64) -> Self {
+        KernelCost {
+            flops_per_block,
+            dram_bytes_per_block,
+        }
+    }
+
+    /// Nominal (uncontended, alone-on-an-SM) execution time of one block
+    /// on `dev`, in ns.
+    ///
+    /// Roofline-style. The compute rate reflects *latency-limited issue*:
+    /// a lone block delivers only `warps_block / warps_for_peak` of the
+    /// SM's peak until enough warps are co-resident to hide latency — the
+    /// under-utilization that GLP4NN's concurrent kernels fill (and the
+    /// reason the paper's model maximizes occupancy). The memory term
+    /// assumes an uncontended fair share of device bandwidth per SM;
+    /// contention on top of this is handled by [`crate::contention`] and
+    /// by the engine's residency-aware burst timing.
+    pub fn nominal_block_time_ns(&self, dev: &DeviceProps, threads_per_block: u32) -> SimTime {
+        let warps = threads_per_block.div_ceil(dev.warp_size);
+        let rate_c = dev.sm_peak_flops() * warps as f64
+            / warps.max(dev.warps_for_peak) as f64;
+        let t_compute = if self.flops_per_block > 0.0 {
+            self.flops_per_block / rate_c
+        } else {
+            0.0
+        };
+        // Uncontended per-SM bandwidth share.
+        let bw_share = dev.mem_bw_gbps * 1e9 / dev.num_sms as f64;
+        let t_mem = if self.dram_bytes_per_block > 0.0 {
+            self.dram_bytes_per_block / bw_share
+        } else {
+            0.0
+        };
+        // Fixed per-block issue latency (~1 µs of scheduling/drain — the
+        // floor below which real kernels never finish).
+        const BLOCK_OVERHEAD_NS: f64 = 1000.0;
+        let t = t_compute.max(t_mem) * 1e9 + BLOCK_OVERHEAD_NS;
+        t.ceil() as SimTime
+    }
+
+    /// The block's nominal DRAM bandwidth demand in bytes/s (used by the
+    /// contention model).
+    pub fn bandwidth_demand(&self, dev: &DeviceProps, threads_per_block: u32) -> f64 {
+        let t_ns = self.nominal_block_time_ns(dev, threads_per_block) as f64;
+        if t_ns <= 0.0 {
+            return 0.0;
+        }
+        self.dram_bytes_per_block / (t_ns * 1e-9)
+    }
+}
+
+/// Identifier of a launched kernel instance within a [`crate::Device`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KernelId(pub(crate) u64);
+
+impl KernelId {
+    /// Raw index (launch order).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// A kernel ready to be launched: name + configuration + cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelDesc {
+    /// Kernel name as a profiler would report it (e.g. `im2col`, `sgemm`).
+    pub name: String,
+    /// Launch configuration.
+    pub launch: LaunchConfig,
+    /// Per-block cost.
+    pub cost: KernelCost,
+    /// Opaque correlation tag (layer id, batch-chunk index...) carried into
+    /// the timeline and the profiler records.
+    pub tag: u64,
+}
+
+impl KernelDesc {
+    /// Build a kernel description with tag 0.
+    pub fn new(name: &str, launch: LaunchConfig, cost: KernelCost) -> Self {
+        KernelDesc {
+            name: name.to_string(),
+            launch,
+            cost,
+            tag: 0,
+        }
+    }
+
+    /// Attach a correlation tag.
+    pub fn with_tag(mut self, tag: u64) -> Self {
+        self.tag = tag;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim3_helpers() {
+        assert_eq!(Dim3::linear(18).count(), 18);
+        assert_eq!(Dim3::plane(4, 5).count(), 20);
+        assert_eq!(Dim3::new(2, 3, 4).count(), 24);
+        assert_eq!(Dim3::linear(7).to_string(), "[7,1,1]");
+    }
+
+    #[test]
+    fn launch_config_derived() {
+        let lc = LaunchConfig {
+            grid: Dim3::plane(8, 4),
+            block: Dim3::linear(256),
+            regs_per_thread: 33,
+            smem_static: 1024,
+            smem_dynamic: 512,
+        };
+        assert_eq!(lc.num_blocks(), 32);
+        assert_eq!(lc.threads_per_block(), 256);
+        assert_eq!(lc.smem_per_block(), 1536);
+        assert_eq!(lc.regs_per_block(), 33 * 256);
+    }
+
+    #[test]
+    fn compute_bound_block_time_scales_with_flops() {
+        let dev = DeviceProps::p100();
+        let small = KernelCost::new(1.0e5, 0.0);
+        let large = KernelCost::new(1.0e6, 0.0);
+        let t1 = small.nominal_block_time_ns(&dev, 256);
+        let t2 = large.nominal_block_time_ns(&dev, 256);
+        assert!(t2 > t1 * 5, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn narrow_block_cannot_saturate_sm() {
+        // Same per-block flops: a 32-thread block must take longer than a
+        // 1024-thread block on a wide SM.
+        let dev = DeviceProps::k40c(); // 192 cores/SM
+        let cost = KernelCost::new(5.0e5, 0.0);
+        let narrow = cost.nominal_block_time_ns(&dev, 32);
+        let wide = cost.nominal_block_time_ns(&dev, 1024);
+        assert!(narrow > wide, "narrow={narrow} wide={wide}");
+    }
+
+    #[test]
+    fn memory_bound_block_time_uses_bandwidth() {
+        let dev = DeviceProps::p100();
+        let cost = KernelCost::new(0.0, 1.0e6); // 1 MB per block, no flops
+        let t = cost.nominal_block_time_ns(&dev, 256);
+        // 1 MB over (549 GB/s / 56 SMs) ≈ 102 µs.
+        let expected = 1.0e6 / (549.0e9 / 56.0) * 1e9;
+        assert!((t as f64 - expected).abs() < expected * 0.1, "t={t}");
+    }
+
+    #[test]
+    fn zero_cost_block_still_has_overhead() {
+        let dev = DeviceProps::p100();
+        let t = KernelCost::new(0.0, 0.0).nominal_block_time_ns(&dev, 128);
+        assert!(t >= 500);
+    }
+
+    #[test]
+    fn bandwidth_demand_is_bytes_over_time() {
+        let dev = DeviceProps::p100();
+        let cost = KernelCost::new(0.0, 1.0e6);
+        let d = cost.bandwidth_demand(&dev, 256);
+        let t = cost.nominal_block_time_ns(&dev, 256) as f64 * 1e-9;
+        assert!((d - 1.0e6 / t).abs() < 1.0);
+    }
+}

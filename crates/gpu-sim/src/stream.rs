@@ -1,0 +1,105 @@
+//! CUDA-style streams and events.
+//!
+//! A stream is an in-order FIFO of commands; different streams may run
+//! their kernels concurrently. Events provide cross-stream ordering:
+//! `record` completes when all prior work in its stream completes, and
+//! `wait` blocks a stream until the awaited event completes. GLP4NN's
+//! stream manager builds its *concurrent stream pool* and *default stream*
+//! on these primitives.
+
+use crate::kernel::{KernelDesc, KernelId};
+use std::collections::VecDeque;
+
+/// Identifier of a stream within a device. Stream 0 is the default stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StreamId(pub(crate) u32);
+
+impl StreamId {
+    /// The default stream (stream 0).
+    pub const DEFAULT: StreamId = StreamId(0);
+
+    /// Raw index.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the default stream.
+    pub fn is_default(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Identifier of a recorded event within a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(pub(crate) u64);
+
+impl EventId {
+    /// Raw index.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+/// One command in a stream's FIFO.
+#[derive(Debug, Clone)]
+pub enum Command {
+    /// Launch a kernel (already assigned a [`KernelId`]).
+    Launch(KernelId, KernelDesc),
+    /// Record `EventId`: completes when all prior work in this stream done.
+    RecordEvent(EventId),
+    /// Block this stream until `EventId` completes.
+    WaitEvent(EventId),
+}
+
+/// Runtime state of one stream.
+#[derive(Debug, Default)]
+pub struct StreamState {
+    /// Pending commands, front is next to execute.
+    pub queue: VecDeque<Command>,
+    /// A kernel from this stream currently executing (streams are in-order,
+    /// so at most one).
+    pub inflight: Option<KernelId>,
+    /// Simulated time when the stream last became idle.
+    pub last_idle: u64,
+}
+
+impl StreamState {
+    /// Whether the stream has no pending or in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.inflight.is_none()
+    }
+}
+
+/// Lifecycle of an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventState {
+    /// Created, not yet recorded into a stream.
+    Created,
+    /// Recorded; completes when prior stream work finishes.
+    Pending,
+    /// Completed at the contained simulated time.
+    Completed(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_stream_identity() {
+        assert!(StreamId::DEFAULT.is_default());
+        assert!(!StreamId(3).is_default());
+        assert_eq!(StreamId(3).raw(), 3);
+    }
+
+    #[test]
+    fn stream_state_idle() {
+        let mut s = StreamState::default();
+        assert!(s.is_idle());
+        s.inflight = Some(KernelId(0));
+        assert!(!s.is_idle());
+        s.inflight = None;
+        s.queue.push_back(Command::RecordEvent(EventId(0)));
+        assert!(!s.is_idle());
+    }
+}

@@ -1,0 +1,222 @@
+//! Kernel execution traces and timeline rendering.
+//!
+//! Each completed kernel leaves a [`KernelTrace`] carrying what CUPTI's
+//! activity API would report: name, stream, launch configuration, and
+//! launch/start/end timestamps. [`Timeline`] renders a set of traces as an
+//! ASCII Gantt chart (one row per stream), reproducing the paper's Fig. 3
+//! ("Timeline of kernels in the conv1 layer with multiple CUDA streams"),
+//! or as CSV for external plotting.
+
+use crate::kernel::{KernelDesc, KernelId, LaunchConfig};
+use crate::stream::StreamId;
+use crate::SimTime;
+use std::fmt::Write as _;
+
+/// One completed kernel execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTrace {
+    /// Kernel instance id (launch order).
+    pub id: KernelId,
+    /// Kernel name (`im2col`, `sgemm`, ...).
+    pub name: String,
+    /// Stream the kernel ran in.
+    pub stream: StreamId,
+    /// Launch configuration.
+    pub launch: LaunchConfig,
+    /// Caller-provided correlation tag.
+    pub tag: u64,
+    /// Host time the launch call was issued (ns).
+    pub launch_ns: SimTime,
+    /// First block start (ns).
+    pub start_ns: SimTime,
+    /// Last block retirement (ns).
+    pub end_ns: SimTime,
+}
+
+impl KernelTrace {
+    pub(crate) fn from_runtime(
+        id: KernelId,
+        desc: &KernelDesc,
+        stream: StreamId,
+        launch_ns: SimTime,
+        start_ns: SimTime,
+        end_ns: SimTime,
+    ) -> Self {
+        KernelTrace {
+            id,
+            name: desc.name.clone(),
+            stream,
+            launch: desc.launch,
+            tag: desc.tag,
+            launch_ns,
+            start_ns,
+            end_ns,
+        }
+    }
+
+    /// Execution duration (ns).
+    pub fn duration_ns(&self) -> SimTime {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// A renderable set of kernel traces.
+#[derive(Debug, Clone, Default)]
+pub struct Timeline {
+    traces: Vec<KernelTrace>,
+}
+
+impl Timeline {
+    /// Build a timeline from traces (e.g. a slice of
+    /// [`crate::Device::trace`]).
+    pub fn new(traces: &[KernelTrace]) -> Self {
+        Timeline {
+            traces: traces.to_vec(),
+        }
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// Whether the timeline holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Total wall span covered (max end − min start), in ns.
+    pub fn span_ns(&self) -> SimTime {
+        let lo = self.traces.iter().map(|t| t.start_ns).min().unwrap_or(0);
+        let hi = self.traces.iter().map(|t| t.end_ns).max().unwrap_or(0);
+        hi - lo
+    }
+
+    /// Render an ASCII Gantt chart: one row per stream, `width` columns.
+    ///
+    /// Bars are drawn with the first letter of the kernel name; overlap
+    /// between rows is visible as bars sharing columns.
+    pub fn render_ascii(&self, width: usize) -> String {
+        if self.traces.is_empty() {
+            return "(empty timeline)\n".to_string();
+        }
+        let lo = self.traces.iter().map(|t| t.start_ns).min().unwrap();
+        let hi = self.traces.iter().map(|t| t.end_ns).max().unwrap();
+        let span = (hi - lo).max(1) as f64;
+        let mut streams: Vec<StreamId> = self.traces.iter().map(|t| t.stream).collect();
+        streams.sort();
+        streams.dedup();
+
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "timeline: {} kernels over {:.3} ms",
+            self.traces.len(),
+            span / 1e6
+        );
+        for sid in streams {
+            let mut row = vec![b'.'; width];
+            for t in self.traces.iter().filter(|t| t.stream == sid) {
+                let a = (((t.start_ns - lo) as f64 / span) * width as f64) as usize;
+                let b = (((t.end_ns - lo) as f64 / span) * width as f64).ceil() as usize;
+                let ch = t.name.bytes().next().unwrap_or(b'#');
+                for c in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *c = ch;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "stream {:>2} |{}|",
+                sid.raw(),
+                String::from_utf8_lossy(&row)
+            );
+        }
+        out
+    }
+
+    /// Render as CSV: `id,name,stream,tag,launch_ns,start_ns,end_ns`.
+    pub fn render_csv(&self) -> String {
+        let mut out = String::from("id,name,stream,tag,launch_ns,start_ns,end_ns\n");
+        for t in &self.traces {
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{},{}",
+                t.id.raw(),
+                t.name,
+                t.stream.raw(),
+                t.tag,
+                t.launch_ns,
+                t.start_ns,
+                t.end_ns
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Dim3, KernelCost};
+
+    fn trace(name: &str, stream: u32, start: SimTime, end: SimTime) -> KernelTrace {
+        let desc = KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(4), Dim3::linear(64), 16, 0),
+            KernelCost::new(1.0, 1.0),
+        );
+        KernelTrace::from_runtime(
+            KernelId(0),
+            &desc,
+            StreamId(stream),
+            start.saturating_sub(10),
+            start,
+            end,
+        )
+    }
+
+    #[test]
+    fn span_and_duration() {
+        let t = Timeline::new(&[trace("a", 1, 100, 300), trace("b", 2, 200, 500)]);
+        assert_eq!(t.span_ns(), 400);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(trace("a", 1, 100, 300).duration_ns(), 200);
+    }
+
+    #[test]
+    fn ascii_has_one_row_per_stream() {
+        let t = Timeline::new(&[
+            trace("im2col", 1, 0, 100),
+            trace("sgemm", 1, 100, 300),
+            trace("im2col", 2, 0, 120),
+        ]);
+        let s = t.render_ascii(40);
+        assert_eq!(s.lines().count(), 3); // header + 2 stream rows
+        assert!(s.contains("stream  1"));
+        assert!(s.contains("stream  2"));
+        assert!(s.contains('i')); // im2col bars
+        assert!(s.contains('s')); // sgemm bars
+    }
+
+    #[test]
+    fn empty_timeline_renders() {
+        let t = Timeline::default();
+        assert!(t.is_empty());
+        assert_eq!(t.span_ns(), 0);
+        assert!(t.render_ascii(10).contains("empty"));
+    }
+
+    #[test]
+    fn csv_roundtrip_fields() {
+        let t = Timeline::new(&[trace("k", 3, 50, 90)]);
+        let csv = t.render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "id,name,stream,tag,launch_ns,start_ns,end_ns"
+        );
+        let row = lines.next().unwrap();
+        assert!(row.contains(",k,3,0,40,50,90"));
+    }
+}

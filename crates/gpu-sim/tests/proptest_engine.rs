@@ -1,0 +1,119 @@
+//! Property tests for the discrete-event engine: stream FIFO order,
+//! causality, determinism, and completeness over randomized workloads.
+
+use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandKernel {
+    blocks: u32,
+    threads_pow: u32, // threads = 32 << threads_pow
+    flops: f64,
+    bytes: f64,
+    stream: usize,
+}
+
+fn arb_kernel(num_streams: usize) -> impl Strategy<Value = RandKernel> {
+    (
+        1u32..200,
+        0u32..5,
+        1.0e4..1.0e7f64,
+        0.0..1.0e6f64,
+        0..num_streams,
+    )
+        .prop_map(|(blocks, threads_pow, flops, bytes, stream)| RandKernel {
+            blocks,
+            threads_pow,
+            flops,
+            bytes,
+            stream,
+        })
+}
+
+fn run_workload(dev_props: DeviceProps, ks: &[RandKernel], num_streams: usize) -> Device {
+    let mut dev = Device::new(dev_props);
+    let streams: Vec<_> = (0..num_streams).map(|_| dev.create_stream()).collect();
+    for (i, k) in ks.iter().enumerate() {
+        let desc = KernelDesc::new(
+            &format!("k{i}"),
+            LaunchConfig::new(
+                Dim3::linear(k.blocks),
+                Dim3::linear(32 << k.threads_pow),
+                16,
+                0,
+            ),
+            KernelCost::new(k.flops, k.bytes),
+        )
+        .with_tag(i as u64);
+        dev.launch(streams[k.stream], desc);
+    }
+    dev.run();
+    dev
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every launched kernel completes, and per-stream execution intervals
+    /// never overlap (streams are in-order).
+    #[test]
+    fn streams_are_fifo_and_all_complete(
+        ks in prop::collection::vec(arb_kernel(4), 1..24)
+    ) {
+        let dev = run_workload(DeviceProps::p100(), &ks, 4);
+        prop_assert_eq!(dev.trace().len(), ks.len());
+        // Group traces by stream in tag (launch) order.
+        for sid in 0..6u32 {
+            let mut in_stream: Vec<_> = dev
+                .trace()
+                .iter()
+                .filter(|t| t.stream.raw() == sid)
+                .collect();
+            in_stream.sort_by_key(|t| t.tag);
+            for w in in_stream.windows(2) {
+                prop_assert!(
+                    w[1].start_ns >= w[0].end_ns,
+                    "stream {} kernels overlap: {:?} then {:?}",
+                    sid, (w[0].start_ns, w[0].end_ns), (w[1].start_ns, w[1].end_ns)
+                );
+            }
+        }
+    }
+
+    /// Causality: start ≥ launch-issue time; end > start; duration ≥ the
+    /// single-block nominal time.
+    #[test]
+    fn causality_holds(ks in prop::collection::vec(arb_kernel(3), 1..16)) {
+        let dev = run_workload(DeviceProps::k40c(), &ks, 3);
+        for t in dev.trace() {
+            prop_assert!(t.start_ns >= t.launch_ns);
+            prop_assert!(t.end_ns > t.start_ns);
+        }
+    }
+
+    /// Determinism: same workload twice gives identical timelines.
+    #[test]
+    fn deterministic(ks in prop::collection::vec(arb_kernel(4), 1..16)) {
+        let a = run_workload(DeviceProps::titan_xp(), &ks, 4);
+        let b = run_workload(DeviceProps::titan_xp(), &ks, 4);
+        let ta: Vec<_> = a.trace().iter().map(|t| (t.tag, t.start_ns, t.end_ns)).collect();
+        let tb: Vec<_> = b.trace().iter().map(|t| (t.tag, t.start_ns, t.end_ns)).collect();
+        prop_assert_eq!(ta, tb);
+    }
+
+    /// Spreading the same kernels over more streams never makes the
+    /// simulated makespan dramatically worse (allow contention-induced
+    /// slack of 2x), and occupancy stays within [0, 1].
+    #[test]
+    fn more_streams_not_catastrophic(
+        ks in prop::collection::vec(arb_kernel(1), 2..10)
+    ) {
+        let serial = run_workload(DeviceProps::p100(), &ks, 1);
+        let mut spread = ks.clone();
+        for (i, k) in spread.iter_mut().enumerate() { k.stream = i % 4; }
+        let conc = run_workload(DeviceProps::p100(), &spread, 4);
+        prop_assert!(conc.now() <= serial.now() * 2 + 1_000_000);
+        let st = conc.stats();
+        prop_assert!(st.avg_occupancy >= 0.0 && st.avg_occupancy <= 1.0 + 1e-9);
+    }
+}

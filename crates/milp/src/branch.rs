@@ -1,0 +1,280 @@
+//! Branch & bound over the integer variables.
+//!
+//! Depth-first search; each node tightens one integer variable's bounds
+//! around the fractional relaxation value (`x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`) and
+//! re-solves the LP relaxation. Nodes are pruned when the relaxation is
+//! infeasible or cannot beat the incumbent.
+//!
+//! The GLP4NN analyzer's programs have ≤ ~10 bounded integer variables, so
+//! this explores at most a few hundred nodes; a generous node cap turns a
+//! pathological model into an explicit [`SolveError::NodeLimit`] instead of
+//! a hang.
+
+use crate::model::{Model, Sense, Solution, SolveError, VarKind};
+use crate::simplex::solve_relaxation;
+
+const INT_EPS: f64 = 1e-6;
+const DEFAULT_NODE_LIMIT: usize = 100_000;
+
+/// Statistics from a branch & bound run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BranchStats {
+    /// LP relaxations solved (nodes explored).
+    pub nodes: usize,
+    /// Nodes pruned by bound.
+    pub pruned: usize,
+    /// Incumbent improvements found.
+    pub incumbents: usize,
+}
+
+/// Solve `model` to integer optimality with the default node limit.
+pub fn solve(model: &Model) -> Result<Solution, SolveError> {
+    solve_with_stats(model).map(|(s, _)| s)
+}
+
+/// Solve and return search statistics alongside the solution.
+pub fn solve_with_stats(model: &Model) -> Result<(Solution, BranchStats), SolveError> {
+    solve_with_limit(model, DEFAULT_NODE_LIMIT)
+}
+
+/// Solve with an explicit node budget.
+pub fn solve_with_limit(
+    model: &Model,
+    node_limit: usize,
+) -> Result<(Solution, BranchStats), SolveError> {
+    model.validate()?;
+    let mut stats = BranchStats::default();
+    let mut incumbent: Option<Solution> = None;
+    let mut work = model.clone();
+    let maximize = matches!(model.sense(), Sense::Maximize);
+
+    branch_node(
+        &mut work,
+        &mut incumbent,
+        &mut stats,
+        node_limit,
+        maximize,
+    )?;
+
+    match incumbent {
+        Some(mut sol) => {
+            // Snap integer variables exactly.
+            for (j, v) in model.vars().iter().enumerate() {
+                if v.kind == VarKind::Integer {
+                    sol.values[j] = sol.values[j].round();
+                }
+            }
+            sol.objective = model.objective_at(&sol.values);
+            Ok((sol, stats))
+        }
+        None => Err(SolveError::Infeasible),
+    }
+}
+
+fn better(candidate: f64, incumbent: f64, maximize: bool) -> bool {
+    if maximize {
+        candidate > incumbent + 1e-9
+    } else {
+        candidate < incumbent - 1e-9
+    }
+}
+
+fn branch_node(
+    work: &mut Model,
+    incumbent: &mut Option<Solution>,
+    stats: &mut BranchStats,
+    node_limit: usize,
+    maximize: bool,
+) -> Result<(), SolveError> {
+    if stats.nodes >= node_limit {
+        return Err(SolveError::NodeLimit);
+    }
+    stats.nodes += 1;
+
+    let relax = match solve_relaxation(work) {
+        Ok(s) => s,
+        Err(SolveError::Infeasible) => return Ok(()), // prune
+        Err(e) => return Err(e),
+    };
+
+    // Bound pruning: relaxation is an upper (maximize) / lower (minimize)
+    // bound for this subtree.
+    if let Some(inc) = incumbent {
+        if !better(relax.objective, inc.objective, maximize) {
+            stats.pruned += 1;
+            return Ok(());
+        }
+    }
+
+    // Find a fractional integer variable.
+    let frac = work
+        .vars()
+        .iter()
+        .enumerate()
+        .find(|(j, v)| {
+            v.kind == VarKind::Integer && (relax.values[*j] - relax.values[*j].round()).abs() > INT_EPS
+        })
+        .map(|(j, _)| j);
+
+    let Some(j) = frac else {
+        // Integer-feasible: candidate incumbent.
+        let is_better = incumbent
+            .as_ref()
+            .map(|inc| better(relax.objective, inc.objective, maximize))
+            .unwrap_or(true);
+        if is_better {
+            stats.incumbents += 1;
+            *incumbent = Some(relax);
+        }
+        return Ok(());
+    };
+
+    let v = relax.values[j];
+    let floor = v.floor();
+    let ceil = v.ceil();
+    let var_id = crate::model::VarId(j);
+    let (old_lo, old_hi) = {
+        let var = &work.vars()[j];
+        (var.lower, var.upper)
+    };
+
+    // Down branch: x_j <= floor(v).
+    if floor >= old_lo - INT_EPS {
+        work.var_mut(var_id).upper = floor.min(old_hi);
+        branch_node(work, incumbent, stats, node_limit, maximize)?;
+        work.var_mut(var_id).upper = old_hi;
+    }
+    // Up branch: x_j >= ceil(v).
+    if ceil <= old_hi + INT_EPS {
+        work.var_mut(var_id).lower = ceil.max(old_lo);
+        branch_node(work, incumbent, stats, node_limit, maximize)?;
+        work.var_mut(var_id).lower = old_lo;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarKind};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn integer_knapsack() {
+        // max 8a + 11b + 6c + 4d, 5a+7b+4c+3d <= 14, a..d in {0,1}.
+        // Optimal: b=c=d=1 (obj 21).
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", VarKind::Integer, 0.0, 1.0, 8.0);
+        let b = m.add_var("b", VarKind::Integer, 0.0, 1.0, 11.0);
+        let c = m.add_var("c", VarKind::Integer, 0.0, 1.0, 6.0);
+        let d = m.add_var("d", VarKind::Integer, 0.0, 1.0, 4.0);
+        m.add_le_constraint("w", &[(a, 5.0), (b, 7.0), (c, 4.0), (d, 3.0)], 14.0);
+        let s = solve(&m).unwrap();
+        assert!(close(s.objective, 21.0), "obj = {}", s.objective);
+        assert_eq!(s.int_value(a), 0);
+        assert_eq!(s.int_value(b), 1);
+        assert_eq!(s.int_value(c), 1);
+        assert_eq!(s.int_value(d), 1);
+    }
+
+    #[test]
+    fn relaxation_fractional_integer_optimum_differs() {
+        // max x + y, 2x + 2y <= 3, integers -> obj 1 (relaxation 1.5).
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0, 1.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 10.0, 1.0);
+        m.add_le_constraint("c", &[(x, 2.0), (y, 2.0)], 3.0);
+        let s = solve(&m).unwrap();
+        assert!(close(s.objective, 1.0));
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // max 2x + y, x integer <= 2.5 constraint, y continuous <= 1.5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 2.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_le_constraint("cx", &[(x, 1.0)], 2.5);
+        m.add_le_constraint("cy", &[(y, 1.0)], 1.5);
+        let s = solve(&m).unwrap();
+        assert_eq!(s.int_value(x), 2);
+        assert!(close(s.value(y), 1.5));
+        assert!(close(s.objective, 5.5));
+    }
+
+    #[test]
+    fn infeasible_integer_program() {
+        // 0.4 <= x <= 0.6 has no integer point.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0, 1.0);
+        m.add_ge_constraint("lo", &[(x, 1.0)], 0.4);
+        m.add_le_constraint("hi", &[(x, 1.0)], 0.6);
+        assert_eq!(solve(&m), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn minimization() {
+        // min 3x + 4y s.t. x + 2y >= 3, 2x + y >= 3, integers -> x=y=1, obj 7.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 100.0, 3.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 100.0, 4.0);
+        m.add_ge_constraint("c1", &[(x, 1.0), (y, 2.0)], 3.0);
+        m.add_ge_constraint("c2", &[(x, 2.0), (y, 1.0)], 3.0);
+        let s = solve(&m).unwrap();
+        assert!(close(s.objective, 7.0), "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        let mut m = Model::new(Sense::Maximize);
+        let vars: Vec<_> = (0..6)
+            .map(|i| m.add_var(&format!("x{i}"), VarKind::Integer, 0.0, 10.0, 1.0))
+            .collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 3.0)).collect();
+        m.add_le_constraint("c", &terms, 17.0);
+        // With node_limit=1 only the root relaxation runs; any branching
+        // attempt must report NodeLimit.
+        match solve_with_limit(&m, 1) {
+            Err(SolveError::NodeLimit) => {}
+            other => panic!("expected NodeLimit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 10.0, 1.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 10.0, 1.0);
+        m.add_le_constraint("c", &[(x, 2.0), (y, 2.0)], 7.0);
+        let (s, stats) = solve_with_stats(&m).unwrap();
+        assert!(close(s.objective, 3.0));
+        assert!(stats.nodes >= 1);
+        assert!(stats.incumbents >= 1);
+    }
+
+    #[test]
+    fn glp4nn_shaped_program() {
+        // The exact shape the kernel analyzer emits: maximize
+        // sum(#K_i * tau_i * beta_i) under smem/thread/block/C caps.
+        // 2 kernel classes: tau=[256,128], beta=[2,4], smem=[4096,0],
+        // sm_max=49152, tau_max=2048, beta_max=16, C=32, percap=[8,16].
+        let mut m = Model::new(Sense::Maximize);
+        let k0 = m.add_var("K0", VarKind::Integer, 0.0, 8.0, 256.0 * 2.0);
+        let k1 = m.add_var("K1", VarKind::Integer, 0.0, 16.0, 128.0 * 4.0);
+        m.add_le_constraint("smem", &[(k0, 4096.0 * 2.0), (k1, 0.0)], 49152.0);
+        m.add_le_constraint("threads", &[(k0, 256.0 * 2.0), (k1, 128.0 * 4.0)], 2048.0);
+        m.add_le_constraint("blocks", &[(k0, 2.0), (k1, 4.0)], 16.0);
+        m.add_le_constraint("conc", &[(k0, 1.0), (k1, 1.0)], 32.0);
+        m.add_ge_constraint("atleast1", &[(k0, 1.0), (k1, 1.0)], 1.0);
+        let s = solve(&m).unwrap();
+        // threads constraint caps total active threads at 2048; both kernel
+        // classes have the same thread/block product 512, so any mix totaling
+        // 4 instances is optimal.
+        assert!(close(s.objective, 2048.0), "obj = {}", s.objective);
+        assert_eq!(s.int_value(k0) + s.int_value(k1), 4);
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+}

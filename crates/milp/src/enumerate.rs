@@ -1,0 +1,170 @@
+//! Exhaustive-enumeration oracle for small bounded integer programs.
+//!
+//! Walks the full integer lattice inside the variable bounds and returns the
+//! best feasible point. Exponential, so only usable when
+//! `Π (upper - lower + 1)` is small — which is exactly the case for the
+//! GLP4NN analyzer programs and for the randomized property tests that
+//! cross-check [`crate::branch`].
+
+use crate::model::{Model, Sense, Solution, SolveError, VarKind};
+
+/// Maximum number of lattice points [`solve_exhaustive`] will visit.
+pub const MAX_POINTS: u64 = 10_000_000;
+
+/// Solve a *pure-integer*, fully-bounded program by exhaustive search.
+///
+/// Returns [`SolveError::Invalid`] if any variable is continuous or has an
+/// infinite upper bound, or if the lattice exceeds [`MAX_POINTS`].
+pub fn solve_exhaustive(model: &Model) -> Result<Solution, SolveError> {
+    model.validate()?;
+    let n = model.num_vars();
+    if n == 0 {
+        return Ok(Solution {
+            objective: 0.0,
+            values: vec![],
+        });
+    }
+
+    let mut lows = Vec::with_capacity(n);
+    let mut highs = Vec::with_capacity(n);
+    let mut points: u64 = 1;
+    for v in model.vars() {
+        if v.kind != VarKind::Integer {
+            return Err(SolveError::Invalid(format!(
+                "enumeration requires integer variables, {} is continuous",
+                v.name
+            )));
+        }
+        if !v.upper.is_finite() {
+            return Err(SolveError::Invalid(format!(
+                "enumeration requires finite bounds, {} is unbounded",
+                v.name
+            )));
+        }
+        let lo = v.lower.ceil() as i64;
+        let hi = v.upper.floor() as i64;
+        if hi < lo {
+            return Err(SolveError::Infeasible);
+        }
+        points = points.saturating_mul((hi - lo + 1) as u64);
+        if points > MAX_POINTS {
+            return Err(SolveError::Invalid(format!(
+                "lattice too large for enumeration (> {MAX_POINTS} points)"
+            )));
+        }
+        lows.push(lo);
+        highs.push(hi);
+    }
+
+    let maximize = matches!(model.sense(), Sense::Maximize);
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    let mut current: Vec<i64> = lows.clone();
+    let values_of = |c: &[i64]| c.iter().map(|&x| x as f64).collect::<Vec<f64>>();
+
+    loop {
+        let vals = values_of(&current);
+        if model.is_feasible(&vals, 1e-9) {
+            let obj = model.objective_at(&vals);
+            let take = match &best {
+                None => true,
+                Some((b, _)) => {
+                    if maximize {
+                        obj > *b + 1e-12
+                    } else {
+                        obj < *b - 1e-12
+                    }
+                }
+            };
+            if take {
+                best = Some((obj, vals));
+            }
+        }
+        // Odometer increment.
+        let mut k = 0;
+        loop {
+            if k == n {
+                return match best {
+                    Some((objective, values)) => Ok(Solution { objective, values }),
+                    None => Err(SolveError::Infeasible),
+                };
+            }
+            if current[k] < highs[k] {
+                current[k] += 1;
+                break;
+            }
+            current[k] = lows[k];
+            k += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarKind};
+
+    #[test]
+    fn matches_hand_solution() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 4.0, 3.0);
+        let y = m.add_var("y", VarKind::Integer, 0.0, 4.0, 2.0);
+        m.add_le_constraint("c", &[(x, 1.0), (y, 1.0)], 4.0);
+        let s = solve_exhaustive(&m).unwrap();
+        assert_eq!(s.int_value(x), 4);
+        assert_eq!(s.int_value(y), 0);
+        assert!((s.objective - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_continuous() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var("x", VarKind::Continuous, 0.0, 4.0, 1.0);
+        assert!(matches!(
+            solve_exhaustive(&m),
+            Err(SolveError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        m.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
+        assert!(matches!(
+            solve_exhaustive(&m),
+            Err(SolveError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn infeasible_when_no_lattice_point_satisfies_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 3.0, 1.0);
+        m.add_ge_constraint("c", &[(x, 1.0)], 10.0);
+        assert_eq!(solve_exhaustive(&m), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn empty_model_ok() {
+        let m = Model::new(Sense::Minimize);
+        let s = solve_exhaustive(&m).unwrap();
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn agrees_with_branch_and_bound_on_fixture() {
+        let mut m = Model::new(Sense::Maximize);
+        let a = m.add_var("a", VarKind::Integer, 0.0, 5.0, 7.0);
+        let b = m.add_var("b", VarKind::Integer, 0.0, 5.0, 5.0);
+        let c = m.add_var("c", VarKind::Integer, 1.0, 3.0, -2.0);
+        m.add_le_constraint("r1", &[(a, 3.0), (b, 2.0), (c, 1.0)], 12.0);
+        m.add_le_constraint("r2", &[(a, 1.0), (b, 4.0)], 10.0);
+        let e = solve_exhaustive(&m).unwrap();
+        let s = crate::branch::solve(&m).unwrap();
+        assert!(
+            (e.objective - s.objective).abs() < 1e-6,
+            "enumerate {} vs b&b {}",
+            e.objective,
+            s.objective
+        );
+    }
+}

@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! A small, self-contained mixed-integer linear programming (MILP) solver.
+//!
+//! GLP4NN's analytical model (paper §3.2) is "a kind of mixed integer linear
+//! programming problem, which can be solved easily with many modern
+//! well-optimized libraries" — the authors used the GNU Linear Programming
+//! Kit (GLPK). GLPK is unavailable in this environment, so this crate is a
+//! from-scratch substitute scoped to the class of problems the framework
+//! produces: *small* (a handful of variables), *bounded*, maximization
+//! problems with `≤` constraints and non-negative integer variables.
+//!
+//! The solver is nonetheless a real LP/MILP stack:
+//!
+//! - [`model::Model`] — a variable/constraint/objective builder in the style
+//!   of GLPK's problem object.
+//! - [`simplex`] — a dense two-phase primal simplex solving the LP
+//!   relaxation.
+//! - [`branch`] — branch & bound over fractional integer variables, using
+//!   the simplex for node relaxations.
+//! - [`enumerate`] — an exhaustive oracle for small bounded programs, used
+//!   by the test-suite (and property tests) to validate branch & bound.
+//!
+//! # Example
+//!
+//! Maximize `3x + 2y` subject to `x + y ≤ 4`, `x ≤ 2`, integer `x, y ≥ 0`:
+//!
+//! ```
+//! use milp::{Model, Sense, VarKind};
+//!
+//! let mut m = Model::new(Sense::Maximize);
+//! let x = m.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 3.0);
+//! let y = m.add_var("y", VarKind::Integer, 0.0, f64::INFINITY, 2.0);
+//! m.add_le_constraint("cap", &[(x, 1.0), (y, 1.0)], 4.0);
+//! m.add_le_constraint("xcap", &[(x, 1.0)], 2.0);
+//! let sol = milp::solve(&m).unwrap();
+//! assert_eq!(sol.value(x).round() as i64, 2);
+//! assert_eq!(sol.value(y).round() as i64, 2);
+//! assert!((sol.objective - 10.0).abs() < 1e-6);
+//! ```
+
+pub mod branch;
+pub mod enumerate;
+pub mod model;
+pub mod simplex;
+
+pub use branch::{solve, BranchStats};
+pub use model::{Model, Sense, Solution, SolveError, VarId, VarKind};

@@ -1,0 +1,381 @@
+//! Problem builder: variables, linear constraints, objective.
+//!
+//! Mirrors the subset of GLPK's problem-object API that GLP4NN's kernel
+//! analyzer needs: named variables with bounds and an integrality marker,
+//! `≤` / `≥` / `=` row constraints, and a linear objective with a sense.
+
+use std::fmt;
+
+/// Handle to a variable inside a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Index of the variable in the model's column order.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Whether a variable is continuous or must take an integer value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued variable.
+    Continuous,
+    /// Integer-valued variable (branched on by branch & bound).
+    Integer,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Maximize the objective.
+    Maximize,
+    /// Minimize the objective.
+    Minimize,
+}
+
+/// Relational operator of a row constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `a·x ≤ b`
+    Le,
+    /// `a·x ≥ b`
+    Ge,
+    /// `a·x = b`
+    Eq,
+}
+
+/// A variable definition.
+#[derive(Debug, Clone)]
+pub struct Variable {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Continuous or integer.
+    pub kind: VarKind,
+    /// Lower bound (may be 0; negative lower bounds are rejected — the
+    /// GLP4NN model never needs them and non-negativity keeps the simplex
+    /// in standard form).
+    pub lower: f64,
+    /// Upper bound (may be `f64::INFINITY`).
+    pub upper: f64,
+    /// Objective coefficient.
+    pub objective: f64,
+}
+
+/// A linear row constraint `Σ coeff_j · x_j  (≤|≥|=)  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Human-readable name (diagnostics only).
+    pub name: String,
+    /// Sparse list of `(variable, coefficient)` terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// Relation between the linear form and `rhs`.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// Errors produced while building or solving a model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The model is malformed (e.g. negative lower bound, NaN coefficient).
+    Invalid(String),
+    /// Branch & bound exceeded its node budget without proving optimality.
+    NodeLimit,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Infeasible => write!(f, "problem is infeasible"),
+            SolveError::Unbounded => write!(f, "problem is unbounded"),
+            SolveError::Invalid(msg) => write!(f, "invalid model: {msg}"),
+            SolveError::NodeLimit => write!(f, "branch & bound node limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// An optimal (or LP-relaxation) assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Objective value at the assignment.
+    pub objective: f64,
+    /// Per-variable values in column order.
+    pub values: Vec<f64>,
+}
+
+impl Solution {
+    /// Value assigned to `var`.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.0]
+    }
+
+    /// Value of `var` rounded to the nearest integer (for integer vars).
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.values[var.0].round() as i64
+    }
+}
+
+/// A linear program / mixed-integer program under construction.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    sense: Option<Sense>,
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+}
+
+impl Model {
+    /// Create an empty model with the given optimization sense.
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense: Some(sense),
+            vars: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Optimization direction.
+    pub fn sense(&self) -> Sense {
+        self.sense.unwrap_or(Sense::Maximize)
+    }
+
+    /// Add a variable; returns its handle.
+    ///
+    /// `lower` must be finite and non-negative; `upper ≥ lower` (may be
+    /// `+∞`). `objective` is the variable's objective coefficient.
+    pub fn add_var(
+        &mut self,
+        name: &str,
+        kind: VarKind,
+        lower: f64,
+        upper: f64,
+        objective: f64,
+    ) -> VarId {
+        self.vars.push(Variable {
+            name: name.to_string(),
+            kind,
+            lower,
+            upper,
+            objective,
+        });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Add a `Σ terms ≤ rhs` constraint.
+    pub fn add_le_constraint(&mut self, name: &str, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(name, terms, Relation::Le, rhs);
+    }
+
+    /// Add a `Σ terms ≥ rhs` constraint.
+    pub fn add_ge_constraint(&mut self, name: &str, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(name, terms, Relation::Ge, rhs);
+    }
+
+    /// Add a `Σ terms = rhs` constraint.
+    pub fn add_eq_constraint(&mut self, name: &str, terms: &[(VarId, f64)], rhs: f64) {
+        self.add_constraint(name, terms, Relation::Eq, rhs);
+    }
+
+    /// Add a constraint with an explicit relation.
+    pub fn add_constraint(
+        &mut self,
+        name: &str,
+        terms: &[(VarId, f64)],
+        relation: Relation,
+        rhs: f64,
+    ) {
+        self.constraints.push(Constraint {
+            name: name.to_string(),
+            terms: terms.to_vec(),
+            relation,
+            rhs,
+        });
+    }
+
+    /// Number of variables (columns).
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of row constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Variable definitions in column order.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Row constraints in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Mutable access to a variable (used by branch & bound to tighten
+    /// bounds on node subproblems).
+    pub(crate) fn var_mut(&mut self, var: VarId) -> &mut Variable {
+        &mut self.vars[var.0]
+    }
+
+    /// Evaluate the objective at `values`.
+    pub fn objective_at(&self, values: &[f64]) -> f64 {
+        self.vars
+            .iter()
+            .zip(values)
+            .map(|(v, x)| v.objective * x)
+            .sum()
+    }
+
+    /// Check that `values` satisfies every bound and constraint within
+    /// tolerance `eps`.
+    pub fn is_feasible(&self, values: &[f64], eps: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &x) in self.vars.iter().zip(values) {
+            if x < v.lower - eps || x > v.upper + eps {
+                return false;
+            }
+            if v.kind == VarKind::Integer && (x - x.round()).abs() > eps {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v.0]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + eps,
+                Relation::Ge => lhs >= c.rhs - eps,
+                Relation::Eq => (lhs - c.rhs).abs() <= eps,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Validate structural well-formedness; returns a description of the
+    /// first problem found.
+    pub fn validate(&self) -> Result<(), SolveError> {
+        for v in &self.vars {
+            if !v.lower.is_finite() || v.lower < 0.0 {
+                return Err(SolveError::Invalid(format!(
+                    "variable {} must have a finite non-negative lower bound",
+                    v.name
+                )));
+            }
+            if v.upper < v.lower {
+                return Err(SolveError::Invalid(format!(
+                    "variable {} has upper bound below lower bound",
+                    v.name
+                )));
+            }
+            if !v.objective.is_finite() {
+                return Err(SolveError::Invalid(format!(
+                    "variable {} has non-finite objective coefficient",
+                    v.name
+                )));
+            }
+        }
+        for c in &self.constraints {
+            if !c.rhs.is_finite() {
+                return Err(SolveError::Invalid(format!(
+                    "constraint {} has non-finite rhs",
+                    c.name
+                )));
+            }
+            for &(v, a) in &c.terms {
+                if v.0 >= self.vars.len() {
+                    return Err(SolveError::Invalid(format!(
+                        "constraint {} references unknown variable",
+                        c.name
+                    )));
+                }
+                if !a.is_finite() {
+                    return Err(SolveError::Invalid(format!(
+                        "constraint {} has non-finite coefficient",
+                        c.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_inspect() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 5.0, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 2.0);
+        m.add_le_constraint("c", &[(x, 1.0), (y, 3.0)], 9.0);
+        assert_eq!(m.num_vars(), 2);
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.vars()[0].name, "x");
+        assert_eq!(m.constraints()[0].terms.len(), 2);
+        assert_eq!(x.index(), 0);
+        assert_eq!(y.index(), 1);
+    }
+
+    #[test]
+    fn objective_evaluation() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_var("x", VarKind::Continuous, 0.0, 10.0, 3.0);
+        let _y = m.add_var("y", VarKind::Continuous, 0.0, 10.0, -1.0);
+        assert!((m.objective_at(&[2.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_rows() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Integer, 0.0, 5.0, 1.0);
+        m.add_le_constraint("c", &[(x, 2.0)], 6.0);
+        assert!(m.is_feasible(&[3.0], 1e-9));
+        assert!(!m.is_feasible(&[3.5], 1e-9)); // fractional integer var & row violated
+        assert!(!m.is_feasible(&[6.0], 1e-9)); // above upper bound
+        assert!(!m.is_feasible(&[], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn ge_and_eq_relations() {
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 10.0, 1.0);
+        m.add_ge_constraint("lo", &[(x, 1.0)], 2.0);
+        m.add_eq_constraint("eq", &[(x, 2.0)], 8.0);
+        assert!(m.is_feasible(&[4.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0], 1e-9));
+        assert!(!m.is_feasible(&[3.0], 1e-9));
+    }
+
+    #[test]
+    fn validate_rejects_bad_models() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, -1.0, 5.0, 1.0);
+        assert!(matches!(m.validate(), Err(SolveError::Invalid(_))));
+        m.var_mut(x).lower = 0.0;
+        assert!(m.validate().is_ok());
+        m.var_mut(x).upper = -2.0;
+        assert!(matches!(m.validate(), Err(SolveError::Invalid(_))));
+        m.var_mut(x).upper = 5.0;
+        m.add_le_constraint("bad", &[(x, f64::NAN)], 1.0);
+        assert!(matches!(m.validate(), Err(SolveError::Invalid(_))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
+        assert!(SolveError::Invalid("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Dense two-phase primal simplex for the LP relaxation.
+//!
+//! Problems are brought into standard computational form
+//! `max c·x  s.t.  A·x {≤,≥,=} b,  0 ≤ x ≤ u` by:
+//!
+//! - shifting out non-zero lower bounds (`x = x' + l`),
+//! - turning finite upper bounds into explicit `x' ≤ u - l` rows
+//!   (problems here have at most a dozen columns, so the simplicity of
+//!   explicit rows beats a bounded-variable simplex),
+//! - adding one slack/surplus per row and artificial variables where the
+//!   canonical basis is not readily available (`≥`, `=` rows, negative rhs),
+//! - running phase I to drive artificials to zero, then phase II on the
+//!   true objective.
+//!
+//! Bland's rule is used for pivot selection, which guarantees termination
+//! (no cycling) at the cost of speed — irrelevant at this scale.
+
+use crate::model::{Model, Relation, Sense, Solution, SolveError};
+
+const EPS: f64 = 1e-9;
+
+/// Solve the LP relaxation of `model` (integrality ignored).
+///
+/// Returns the optimal solution of the relaxation, or
+/// [`SolveError::Infeasible`] / [`SolveError::Unbounded`].
+pub fn solve_relaxation(model: &Model) -> Result<Solution, SolveError> {
+    model.validate()?;
+    if model.num_vars() == 0 {
+        return Ok(Solution {
+            objective: 0.0,
+            values: vec![],
+        });
+    }
+
+    let n = model.num_vars();
+    // Shift lower bounds: x_j = y_j + l_j with y_j >= 0.
+    let lowers: Vec<f64> = model.vars().iter().map(|v| v.lower).collect();
+
+    // Collect rows: model constraints with rhs adjusted for the shift,
+    // plus upper-bound rows.
+    struct Row {
+        coeffs: Vec<f64>, // dense over the n structural columns
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut rows: Vec<Row> = Vec::with_capacity(model.num_constraints() + n);
+    for c in model.constraints() {
+        let mut coeffs = vec![0.0; n];
+        let mut shift = 0.0;
+        for &(v, a) in &c.terms {
+            coeffs[v.index()] += a;
+            shift += a * lowers[v.index()];
+        }
+        rows.push(Row {
+            coeffs,
+            relation: c.relation,
+            rhs: c.rhs - shift,
+        });
+    }
+    for (j, v) in model.vars().iter().enumerate() {
+        if v.upper.is_finite() {
+            let mut coeffs = vec![0.0; n];
+            coeffs[j] = 1.0;
+            rows.push(Row {
+                coeffs,
+                relation: Relation::Le,
+                rhs: v.upper - v.lower,
+            });
+        }
+    }
+
+    // Normalize to non-negative rhs by flipping rows.
+    for r in &mut rows {
+        if r.rhs < 0.0 {
+            for a in &mut r.coeffs {
+                *a = -*a;
+            }
+            r.rhs = -r.rhs;
+            r.relation = match r.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    let m = rows.len();
+    // Column layout: [structural (n)] [slack/surplus (m, some unused)] [artificial (<=m)].
+    // We build the full tableau with an objective row at the end.
+    let mut num_slack = 0usize;
+    let mut num_art = 0usize;
+    for r in &rows {
+        match r.relation {
+            Relation::Le => num_slack += 1,
+            Relation::Ge => {
+                num_slack += 1;
+                num_art += 1;
+            }
+            Relation::Eq => num_art += 1,
+        }
+    }
+    let total = n + num_slack + num_art;
+    // tableau[m][total+1]; last column is rhs.
+    let mut t = vec![vec![0.0f64; total + 1]; m];
+    let mut basis = vec![usize::MAX; m];
+    let mut art_cols: Vec<usize> = Vec::with_capacity(num_art);
+
+    let mut s_idx = n;
+    let mut a_idx = n + num_slack;
+    for (i, r) in rows.iter().enumerate() {
+        t[i][..n].copy_from_slice(&r.coeffs);
+        t[i][total] = r.rhs;
+        match r.relation {
+            Relation::Le => {
+                t[i][s_idx] = 1.0;
+                basis[i] = s_idx;
+                s_idx += 1;
+            }
+            Relation::Ge => {
+                t[i][s_idx] = -1.0; // surplus
+                s_idx += 1;
+                t[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                art_cols.push(a_idx);
+                a_idx += 1;
+            }
+            Relation::Eq => {
+                t[i][a_idx] = 1.0;
+                basis[i] = a_idx;
+                art_cols.push(a_idx);
+                a_idx += 1;
+            }
+        }
+    }
+
+    // Objective coefficients for phase II (always expressed as maximize).
+    let sign = match model.sense() {
+        Sense::Maximize => 1.0,
+        Sense::Minimize => -1.0,
+    };
+    let mut obj = vec![0.0f64; total];
+    for (j, v) in model.vars().iter().enumerate() {
+        obj[j] = sign * v.objective;
+    }
+
+    // Phase I: minimize sum of artificials == maximize -(sum of artificials).
+    if !art_cols.is_empty() {
+        let mut p1 = vec![0.0f64; total];
+        for &c in &art_cols {
+            p1[c] = -1.0;
+        }
+        let val = run_simplex(&mut t, &mut basis, &p1, total)?;
+        if val < -1e-7 {
+            return Err(SolveError::Infeasible);
+        }
+        // Pivot any artificial still (degenerately) in the basis out, if possible.
+        for i in 0..m {
+            if art_cols.contains(&basis[i]) {
+                if let Some(j) = (0..n + num_slack).find(|&j| t[i][j].abs() > EPS) {
+                    pivot(&mut t, &mut basis, i, j);
+                }
+            }
+        }
+        // Forbid artificials from re-entering: zero their columns.
+        for &c in &art_cols {
+            for row in t.iter_mut() {
+                row[c] = 0.0;
+            }
+        }
+    }
+
+    // Phase II.
+    let val = run_simplex(&mut t, &mut basis, &obj, total)?;
+
+    // Extract structural values and undo the lower-bound shift.
+    let mut values = lowers;
+    for (i, &b) in basis.iter().enumerate() {
+        if b < n {
+            values[b] += t[i][total];
+        }
+    }
+    // Clean tiny numerical noise.
+    for x in &mut values {
+        if x.abs() < EPS {
+            *x = 0.0;
+        }
+    }
+    let _ = val;
+    Ok(Solution {
+        objective: model.objective_at(&values),
+        values,
+    })
+}
+
+/// Run primal simplex iterations on an already-canonical tableau with basis
+/// `basis` and (maximization) objective `obj`. Returns the objective value.
+fn run_simplex(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &[f64],
+    total: usize,
+) -> Result<f64, SolveError> {
+    let m = t.len();
+    // Guard: pathological cycling is prevented by Bland's rule, but cap
+    // iterations as defense in depth.
+    let max_iter = 200 * (total + m + 10);
+    for _ in 0..max_iter {
+        // Reduced costs: r_j = obj_j - c_B · B^-1 A_j (tableau is kept in
+        // canonical form so c_B·(column) is computable directly).
+        let mut entering = None;
+        for j in 0..total {
+            if basis.contains(&j) {
+                continue;
+            }
+            let mut r = obj[j];
+            for i in 0..m {
+                r -= obj[basis[i]] * t[i][j];
+            }
+            if r > EPS {
+                entering = Some(j); // Bland: first improving column
+                break;
+            }
+        }
+        let Some(j) = entering else {
+            let mut val = 0.0;
+            for i in 0..m {
+                val += obj[basis[i]] * t[i][total];
+            }
+            return Ok(val);
+        };
+        // Ratio test (Bland: smallest basis index breaks ties).
+        let mut leave: Option<(usize, f64)> = None;
+        for i in 0..m {
+            if t[i][j] > EPS {
+                let ratio = t[i][total] / t[i][j];
+                match leave {
+                    None => leave = Some((i, ratio)),
+                    Some((li, lr)) => {
+                        if ratio < lr - EPS || ((ratio - lr).abs() <= EPS && basis[i] < basis[li]) {
+                            leave = Some((i, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((i, _)) = leave else {
+            return Err(SolveError::Unbounded);
+        };
+        pivot(t, basis, i, j);
+    }
+    Err(SolveError::Invalid(
+        "simplex iteration limit exceeded".to_string(),
+    ))
+}
+
+/// Gauss-Jordan pivot on tableau element `(row, col)`.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
+    let m = t.len();
+    let width = t[0].len();
+    let p = t[row][col];
+    debug_assert!(p.abs() > EPS, "pivot on (near-)zero element");
+    for v in t[row].iter_mut() {
+        *v /= p;
+    }
+    for i in 0..m {
+        if i != row {
+            let f = t[i][col];
+            if f.abs() > EPS {
+                for k in 0..width {
+                    let delta = f * t[row][k];
+                    t[i][k] -= delta;
+                }
+            }
+        }
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense, VarKind};
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y, x<=4, 2y<=12, 3x+2y<=18 -> (2,6), obj 36.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 3.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 5.0);
+        m.add_le_constraint("c1", &[(x, 1.0)], 4.0);
+        m.add_le_constraint("c2", &[(y, 2.0)], 12.0);
+        m.add_le_constraint("c3", &[(x, 3.0), (y, 2.0)], 18.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(close(s.objective, 36.0), "obj = {}", s.objective);
+        assert!(close(s.value(x), 2.0));
+        assert!(close(s.value(y), 6.0));
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 3.0, 1.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(close(s.value(x), 3.0));
+        assert!(close(s.objective, 3.0));
+    }
+
+    #[test]
+    fn lower_bound_shift() {
+        // max -x with 2 <= x <= 7 -> x = 2.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 2.0, 7.0, -1.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(close(s.value(x), 2.0));
+        assert!(close(s.objective, -2.0));
+    }
+
+    #[test]
+    fn minimize_with_ge() {
+        // min x + y s.t. x + y >= 4, x >= 1 -> obj 4.
+        let mut m = Model::new(Sense::Minimize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_ge_constraint("c1", &[(x, 1.0), (y, 1.0)], 4.0);
+        m.add_ge_constraint("c2", &[(x, 1.0)], 1.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(close(s.objective, 4.0), "obj = {}", s.objective);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // max x + y s.t. x + y = 5, x <= 2 -> obj 5 with x<=2.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_eq_constraint("c", &[(x, 1.0), (y, 1.0)], 5.0);
+        m.add_le_constraint("xc", &[(x, 1.0)], 2.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(close(s.objective, 5.0));
+        assert!(close(s.value(x) + s.value(y), 5.0));
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 1.0, 1.0);
+        m.add_ge_constraint("c", &[(x, 1.0)], 5.0);
+        assert_eq!(solve_relaxation(&m), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new(Sense::Maximize);
+        let _x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        assert_eq!(solve_relaxation(&m), Err(SolveError::Unbounded));
+    }
+
+    #[test]
+    fn empty_model() {
+        let m = Model::new(Sense::Maximize);
+        let s = solve_relaxation(&m).unwrap();
+        assert_eq!(s.values.len(), 0);
+        assert_eq!(s.objective, 0.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_flipped() {
+        // max x s.t. -x <= -2 (i.e. x >= 2), x <= 5.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, 5.0, 1.0);
+        m.add_le_constraint("c", &[(x, -1.0)], -2.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(close(s.value(x), 5.0));
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Multiple redundant constraints through the same vertex.
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, f64::INFINITY, 1.0);
+        m.add_le_constraint("a", &[(x, 1.0), (y, 1.0)], 1.0);
+        m.add_le_constraint("b", &[(x, 2.0), (y, 2.0)], 2.0);
+        m.add_le_constraint("c", &[(x, 1.0)], 1.0);
+        m.add_le_constraint("d", &[(y, 1.0)], 1.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(close(s.objective, 1.0));
+    }
+
+    #[test]
+    fn solution_is_feasible_for_model() {
+        let mut m = Model::new(Sense::Maximize);
+        let x = m.add_var("x", VarKind::Continuous, 1.0, 4.0, 2.0);
+        let y = m.add_var("y", VarKind::Continuous, 0.0, 3.0, 1.0);
+        m.add_le_constraint("c", &[(x, 1.0), (y, 2.0)], 6.0);
+        let s = solve_relaxation(&m).unwrap();
+        assert!(m.is_feasible(&s.values, 1e-6));
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests: branch & bound must agree with the exhaustive oracle on
+//! random small bounded integer programs, and simplex solutions must be
+//! feasible for their models.
+
+use milp::enumerate::solve_exhaustive;
+use milp::model::{Model, Sense, VarKind};
+use milp::simplex::solve_relaxation;
+use milp::SolveError;
+use proptest::prelude::*;
+
+/// A random small bounded integer program: 1-4 vars with bounds in [0, 4],
+/// 0-3 `≤` constraints with small integer coefficients.
+fn arb_small_ip() -> impl Strategy<Value = Model> {
+    (
+        prop::collection::vec((0u8..=4, -5i8..=5), 1..=4),
+        prop::collection::vec(
+            (prop::collection::vec(-3i8..=3, 4), 0i8..=20),
+            0..=3,
+        ),
+        prop::bool::ANY,
+    )
+        .prop_map(|(vars, rows, maximize)| {
+            let mut m = Model::new(if maximize {
+                Sense::Maximize
+            } else {
+                Sense::Minimize
+            });
+            let ids: Vec<_> = vars
+                .iter()
+                .enumerate()
+                .map(|(i, &(ub, obj))| {
+                    m.add_var(
+                        &format!("x{i}"),
+                        VarKind::Integer,
+                        0.0,
+                        ub as f64,
+                        obj as f64,
+                    )
+                })
+                .collect();
+            for (r, (coeffs, rhs)) in rows.into_iter().enumerate() {
+                let terms: Vec<_> = ids
+                    .iter()
+                    .zip(&coeffs)
+                    .map(|(&id, &c)| (id, c as f64))
+                    .collect();
+                m.add_le_constraint(&format!("r{r}"), &terms, rhs as f64);
+            }
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Branch & bound and exhaustive enumeration agree on the optimal
+    /// objective (the argmax may differ when there are ties).
+    #[test]
+    fn branch_and_bound_matches_oracle(m in arb_small_ip()) {
+        let oracle = solve_exhaustive(&m);
+        let bb = milp::solve(&m);
+        match (oracle, bb) {
+            (Ok(o), Ok(s)) => {
+                prop_assert!((o.objective - s.objective).abs() < 1e-6,
+                    "oracle {} vs b&b {}", o.objective, s.objective);
+                prop_assert!(m.is_feasible(&s.values, 1e-6));
+            }
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (o, b) => prop_assert!(false, "divergent outcomes: oracle {o:?}, b&b {b:?}"),
+        }
+    }
+
+    /// The LP relaxation, when it exists, is feasible (ignoring
+    /// integrality) and bounds the integer optimum from the correct side.
+    #[test]
+    fn relaxation_bounds_integer_optimum(m in arb_small_ip()) {
+        if let (Ok(relax), Ok(int)) = (solve_relaxation(&m), milp::solve(&m)) {
+            match m.sense() {
+                Sense::Maximize => prop_assert!(relax.objective >= int.objective - 1e-6),
+                Sense::Minimize => prop_assert!(relax.objective <= int.objective + 1e-6),
+            }
+            // Relaxation point satisfies rows and bounds (not integrality).
+            for (v, &x) in m.vars().iter().zip(&relax.values) {
+                prop_assert!(x >= v.lower - 1e-6 && x <= v.upper + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Execution context: simulated device + dispatch policy + timing capture.
+
+use glp4nn::{ExecMode, ExecReport, Glp4nn, LayerKey, Phase};
+use gpu_sim::{Device, DeviceProps, KernelDesc, SimTime, StreamId};
+
+/// How a layer's kernel groups are dispatched to the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Original Caffe behaviour: every kernel serialized on the default
+    /// stream.
+    Naive,
+    /// Round-robin over a fixed number of streams (used for the manual
+    /// sweeps of the paper's Figs. 2-4; bypasses the analytical model).
+    FixedStreams(u32),
+    /// The full GLP4NN runtime-scheduler workflow (profile once, then
+    /// model-sized stream pool).
+    Glp4nn,
+}
+
+/// Per-layer timing record captured during a pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerTiming {
+    /// Layer name.
+    pub layer: String,
+    /// Forward or backward.
+    pub phase: Phase,
+    /// Simulated elapsed ns for the layer (inter-layer sync included).
+    pub elapsed_ns: SimTime,
+    /// Execution mode used.
+    pub mode: ExecMode,
+}
+
+/// The context threaded through every layer's forward/backward.
+pub struct ExecCtx {
+    /// The simulated GPU.
+    pub device: Device,
+    /// Index of this GPU within the GLP4NN framework.
+    pub gpu: usize,
+    /// Dispatch policy for convolution layers.
+    pub mode: DispatchMode,
+    /// GLP4NN runtime (required when `mode == Glp4nn`).
+    pub glp: Option<Glp4nn>,
+    /// Whether layers run their real CPU math (`false` = timing-only, used
+    /// for the large CaffeNet/GoogLeNet sweeps; see DESIGN.md).
+    pub compute: bool,
+    /// Extend batch-level parallelism beyond convolutions to every layer
+    /// that processes samples independently (currently pooling) — the
+    /// paper's §3.3.1 note that the approach "can be easily extended to
+    /// other network layers adopting the batch training method". Off by
+    /// default (paper-faithful: conv only).
+    pub batch_parallel_all: bool,
+    /// Name of the network currently executing (set by [`crate::Net`]).
+    pub net_name: String,
+    /// Captured per-layer timings (cleared by [`take_timings`]).
+    ///
+    /// [`take_timings`]: ExecCtx::take_timings
+    pub timings: Vec<LayerTiming>,
+    fixed_pool: Vec<StreamId>,
+}
+
+impl ExecCtx {
+    /// Context in naive mode with real computation enabled.
+    pub fn naive(props: DeviceProps) -> Self {
+        Self::with_mode(props, DispatchMode::Naive)
+    }
+
+    /// Context with the GLP4NN framework attached (single GPU).
+    pub fn glp4nn(props: DeviceProps) -> Self {
+        Self::glp4nn_with(props, glp4nn::OptimConfig::default())
+    }
+
+    /// GLP4NN context with explicit §6 fusion/reordering configuration.
+    pub fn glp4nn_with(props: DeviceProps, optim: glp4nn::OptimConfig) -> Self {
+        let mut ctx = Self::with_mode(props.clone(), DispatchMode::Glp4nn);
+        let mut glp = Glp4nn::with_optim(1, optim);
+        glp.register_device(0, &props);
+        ctx.glp = Some(glp);
+        ctx
+    }
+
+    /// Context with an explicit dispatch mode and no framework.
+    pub fn with_mode(props: DeviceProps, mode: DispatchMode) -> Self {
+        ExecCtx {
+            device: Device::new(props),
+            gpu: 0,
+            mode,
+            glp: None,
+            compute: true,
+            batch_parallel_all: false,
+            net_name: String::new(),
+            timings: Vec::new(),
+            fixed_pool: Vec::new(),
+        }
+    }
+
+    /// Disable real CPU math (timing-only experiments).
+    pub fn timing_only(mut self) -> Self {
+        self.compute = false;
+        self
+    }
+
+    /// Enable batch-level parallelism for every independent-sample layer
+    /// (the paper's extension note), not just convolutions.
+    pub fn batch_parallel_all(mut self) -> Self {
+        self.batch_parallel_all = true;
+        self
+    }
+
+    /// Dispatch a layer's independent kernel groups according to the
+    /// context's mode; blocks until the device drains (the inter-layer
+    /// synchronization of the paper's §2.1) and records a timing entry.
+    pub fn dispatch_groups(
+        &mut self,
+        layer: &str,
+        phase: Phase,
+        groups: Vec<Vec<KernelDesc>>,
+    ) -> ExecReport {
+        let report = match self.mode {
+            DispatchMode::Naive => self.run_on_streams(&[self.device.default_stream()], groups),
+            DispatchMode::FixedStreams(n) => {
+                while self.fixed_pool.len() < n as usize {
+                    let s = self.device.create_stream();
+                    self.fixed_pool.push(s);
+                }
+                let pool: Vec<StreamId> = self.fixed_pool[..n as usize].to_vec();
+                self.run_on_streams(&pool, groups)
+            }
+            DispatchMode::Glp4nn => {
+                let key = LayerKey {
+                    net: self.net_name.clone(),
+                    layer: layer.to_string(),
+                    phase,
+                };
+                let glp = self
+                    .glp
+                    .as_mut()
+                    .expect("DispatchMode::Glp4nn requires an attached framework");
+                glp.execute(&mut self.device, self.gpu, &key, groups)
+            }
+        };
+        self.timings.push(LayerTiming {
+            layer: layer.to_string(),
+            phase,
+            elapsed_ns: report.elapsed_ns,
+            mode: report.mode,
+        });
+        report
+    }
+
+    /// Launch a single whole-batch kernel on the default stream and wait —
+    /// the path used by non-convolution layers, which the paper leaves in
+    /// original Caffe form.
+    pub fn dispatch_single(&mut self, layer: &str, phase: Phase, kernel: KernelDesc) -> ExecReport {
+        self.dispatch_batch(layer, phase, vec![kernel])
+    }
+
+    /// Launch a sequence of whole-batch kernels on the default stream.
+    pub fn dispatch_batch(
+        &mut self,
+        layer: &str,
+        phase: Phase,
+        kernels: Vec<KernelDesc>,
+    ) -> ExecReport {
+        let report = self.run_on_streams(&[self.device.default_stream()], vec![kernels]);
+        self.timings.push(LayerTiming {
+            layer: layer.to_string(),
+            phase,
+            elapsed_ns: report.elapsed_ns,
+            mode: report.mode,
+        });
+        report
+    }
+
+    fn run_on_streams(&mut self, pool: &[StreamId], groups: Vec<Vec<KernelDesc>>) -> ExecReport {
+        let t0 = self.device.now();
+        let kernels: usize = groups.iter().map(Vec::len).sum();
+        for (i, group) in groups.into_iter().enumerate() {
+            let sid = pool[i % pool.len()];
+            for k in group {
+                self.device.launch(sid, k);
+            }
+        }
+        let end = self.device.run();
+        ExecReport {
+            mode: if pool.len() <= 1 {
+                ExecMode::Profiling // serial on default stream
+            } else {
+                ExecMode::Concurrent {
+                    streams: pool.len() as u32,
+                }
+            },
+            elapsed_ns: end - t0,
+            kernels,
+        }
+    }
+
+    /// Take and clear accumulated layer timings.
+    pub fn take_timings(&mut self) -> Vec<LayerTiming> {
+        std::mem::take(&mut self.timings)
+    }
+
+    /// Total simulated time across recorded timings.
+    pub fn total_elapsed_ns(&self) -> SimTime {
+        self.timings.iter().map(|t| t.elapsed_ns).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Dim3, KernelCost, LaunchConfig};
+
+    fn groups(n: u64) -> Vec<Vec<KernelDesc>> {
+        (0..n)
+            .map(|i| {
+                vec![KernelDesc::new(
+                    "sgemm",
+                    LaunchConfig::new(Dim3::linear(16), Dim3::linear(128), 32, 2048),
+                    KernelCost::new(2.0e6, 1.0e5),
+                )
+                .with_tag(i)]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn naive_serializes_on_default_stream() {
+        let mut ctx = ExecCtx::naive(DeviceProps::p100());
+        let r = ctx.dispatch_groups("conv1", Phase::Forward, groups(4));
+        assert_eq!(r.kernels, 4);
+        // All trace entries on stream 0.
+        assert!(ctx.device.trace().iter().all(|t| t.stream.is_default()));
+    }
+
+    #[test]
+    fn fixed_streams_spread_groups() {
+        let mut ctx = ExecCtx::with_mode(DeviceProps::p100(), DispatchMode::FixedStreams(4));
+        ctx.dispatch_groups("conv1", Phase::Forward, groups(8));
+        let used: std::collections::HashSet<u32> =
+            ctx.device.trace().iter().map(|t| t.stream.raw()).collect();
+        assert_eq!(used.len(), 4);
+    }
+
+    #[test]
+    fn fixed_streams_faster_than_naive() {
+        let t_for = |mode| {
+            let mut ctx = ExecCtx::with_mode(DeviceProps::p100(), mode);
+            ctx.dispatch_groups("conv1", Phase::Forward, groups(16))
+                .elapsed_ns
+        };
+        let naive = t_for(DispatchMode::Naive);
+        let conc = t_for(DispatchMode::FixedStreams(8));
+        assert!(conc < naive, "concurrent {conc} vs naive {naive}");
+    }
+
+    #[test]
+    fn glp4nn_mode_profiles_then_accelerates() {
+        let mut ctx = ExecCtx::glp4nn(DeviceProps::k40c());
+        ctx.net_name = "testnet".to_string();
+        let r1 = ctx.dispatch_groups("conv1", Phase::Forward, groups(12));
+        assert_eq!(r1.mode, ExecMode::Profiling);
+        let r2 = ctx.dispatch_groups("conv1", Phase::Forward, groups(12));
+        assert!(matches!(r2.mode, ExecMode::Concurrent { .. }));
+        assert!(r2.elapsed_ns < r1.elapsed_ns);
+    }
+
+    #[test]
+    fn timings_are_recorded_and_takeable() {
+        let mut ctx = ExecCtx::naive(DeviceProps::titan_xp());
+        ctx.dispatch_groups("conv1", Phase::Forward, groups(2));
+        ctx.dispatch_groups("conv1", Phase::Backward, groups(2));
+        assert_eq!(ctx.timings.len(), 2);
+        assert!(ctx.total_elapsed_ns() > 0);
+        let t = ctx.take_timings();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[0].phase, Phase::Forward);
+        assert_eq!(t[1].phase, Phase::Backward);
+        assert!(ctx.timings.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "requires an attached framework")]
+    fn glp4nn_mode_without_framework_panics() {
+        let mut ctx = ExecCtx::with_mode(DeviceProps::p100(), DispatchMode::Glp4nn);
+        ctx.dispatch_groups("conv1", Phase::Forward, groups(1));
+    }
+}

@@ -1,0 +1,79 @@
+//! Top-1 accuracy layer (evaluation only; no backward).
+
+use crate::exec::ExecCtx;
+use crate::layer::Layer;
+use glp4nn::Phase;
+use tensor::math::argmax;
+use tensor::Blob;
+
+/// Fraction of samples whose argmax score matches the label.
+pub struct AccuracyLayer {
+    name: String,
+}
+
+impl AccuracyLayer {
+    /// New accuracy layer.
+    pub fn new(name: &str) -> Self {
+        AccuracyLayer {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Layer for AccuracyLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "Accuracy"
+    }
+
+    fn reshape(&mut self, bottom: &[&Blob], top: &mut [Blob]) {
+        assert_eq!(bottom.len(), 2);
+        top[0].resize(&[1]);
+    }
+
+    fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
+        let _ = (&ctx, Phase::Forward); // accuracy runs host-side, no kernel
+        if !ctx.compute {
+            return;
+        }
+        let scores = bottom[0];
+        let n = scores.num();
+        let classes = scores.count() / n;
+        let mut correct = 0usize;
+        for i in 0..n {
+            let row = &scores.data()[i * classes..(i + 1) * classes];
+            if argmax(row) == bottom[1].data()[i] as usize {
+                correct += 1;
+            }
+        }
+        top[0].data_mut()[0] = correct as f32 / n as f32;
+    }
+
+    fn backward(&mut self, _ctx: &mut ExecCtx, _top: &[&Blob], _bottom: &mut [Blob]) {}
+
+    fn needs_backward(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceProps;
+
+    #[test]
+    fn counts_correct_predictions() {
+        let mut l = AccuracyLayer::new("acc");
+        let scores = Blob::from_data(&[2, 3], vec![1.0, 5.0, 2.0, 9.0, 0.0, 1.0]);
+        let labels = Blob::from_data(&[2], vec![1.0, 2.0]);
+        let mut top = vec![Blob::empty()];
+        l.reshape(&[&scores, &labels], &mut top);
+        let mut ctx = ExecCtx::naive(DeviceProps::p100());
+        l.forward(&mut ctx, &[&scores, &labels], &mut top);
+        assert!((top[0].data()[0] - 0.5).abs() < 1e-6);
+        assert!(!l.needs_backward());
+    }
+}

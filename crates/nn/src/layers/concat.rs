@@ -1,0 +1,149 @@
+//! Channel-wise concatenation (GoogLeNet's inception-output join).
+
+use crate::exec::ExecCtx;
+use crate::layer::Layer;
+use crate::layers::kernels;
+use glp4nn::Phase;
+use tensor::Blob;
+
+/// Concatenate any number of NCHW bottoms along the channel axis.
+pub struct ConcatLayer {
+    name: String,
+    channel_offsets: Vec<usize>,
+}
+
+impl ConcatLayer {
+    /// New concat layer.
+    pub fn new(name: &str) -> Self {
+        ConcatLayer {
+            name: name.to_string(),
+            channel_offsets: Vec::new(),
+        }
+    }
+}
+
+impl Layer for ConcatLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "Concat"
+    }
+
+    fn reshape(&mut self, bottom: &[&Blob], top: &mut [Blob]) {
+        assert!(!bottom.is_empty());
+        let (n, h, w) = (bottom[0].num(), bottom[0].height(), bottom[0].width());
+        self.channel_offsets.clear();
+        let mut total_c = 0;
+        for b in bottom {
+            assert_eq!(b.num(), n, "batch mismatch in concat");
+            assert_eq!(b.height(), h, "height mismatch in concat");
+            assert_eq!(b.width(), w, "width mismatch in concat");
+            self.channel_offsets.push(total_c);
+            total_c += b.channels();
+        }
+        top[0].resize(&[n, total_c, h, w]);
+    }
+
+    fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
+        ctx.dispatch_single(
+            &self.name,
+            Phase::Forward,
+            kernels::elemwise_kernel("concat", top[0].count(), 0.0),
+        );
+        if !ctx.compute {
+            return;
+        }
+        let n = top[0].num();
+        let total_c = top[0].channels();
+        let spatial = top[0].height() * top[0].width();
+        let t = top[0].data_mut();
+        for (bi, b) in bottom.iter().enumerate() {
+            let c = b.channels();
+            let off = self.channel_offsets[bi];
+            for nn in 0..n {
+                let src = &b.data()[nn * c * spatial..(nn + 1) * c * spatial];
+                let dst = &mut t[(nn * total_c + off) * spatial..(nn * total_c + off + c) * spatial];
+                dst.copy_from_slice(src);
+            }
+        }
+    }
+
+    fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
+        ctx.dispatch_single(
+            &self.name,
+            Phase::Backward,
+            kernels::elemwise_kernel("concat_bwd", top[0].count(), 0.0),
+        );
+        if !ctx.compute {
+            return;
+        }
+        let t = top[0];
+        let n = t.num();
+        let total_c = t.channels();
+        let spatial = t.height() * t.width();
+        for (bi, b) in bottom.iter_mut().enumerate() {
+            let c = b.channels();
+            let off = self.channel_offsets[bi];
+            let bd = b.diff_mut();
+            for nn in 0..n {
+                let src = &t.diff()[(nn * total_c + off) * spatial..(nn * total_c + off + c) * spatial];
+                bd[nn * c * spatial..(nn + 1) * c * spatial].copy_from_slice(src);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceProps;
+
+    fn ctx() -> ExecCtx {
+        ExecCtx::naive(DeviceProps::p100())
+    }
+
+    #[test]
+    fn concatenates_channels() {
+        let mut l = ConcatLayer::new("cat");
+        let a = Blob::from_data(&[2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Blob::from_data(&[2, 2, 1, 2], vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let mut top = vec![Blob::empty()];
+        l.reshape(&[&a, &b], &mut top);
+        assert_eq!(top[0].shape(), &[2, 3, 1, 2]);
+        let mut c = ctx();
+        l.forward(&mut c, &[&a, &b], &mut top);
+        assert_eq!(
+            top[0].data(),
+            &[1.0, 2.0, 5.0, 6.0, 7.0, 8.0, 3.0, 4.0, 9.0, 10.0, 11.0, 12.0]
+        );
+    }
+
+    #[test]
+    fn backward_splits_gradient() {
+        let mut l = ConcatLayer::new("cat");
+        let a = Blob::nchw(1, 1, 1, 1);
+        let b = Blob::nchw(1, 1, 1, 1);
+        let mut top = vec![Blob::empty()];
+        l.reshape(&[&a, &b], &mut top);
+        let mut c = ctx();
+        l.forward(&mut c, &[&a, &b], &mut top);
+        top[0].diff_mut().copy_from_slice(&[3.0, 7.0]);
+        let tops = vec![top.pop().unwrap()];
+        let mut bottoms = vec![a, b];
+        l.backward(&mut c, &[&tops[0]], &mut bottoms);
+        assert_eq!(bottoms[0].diff(), &[3.0]);
+        assert_eq!(bottoms[1].diff(), &[7.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch mismatch")]
+    fn rejects_mismatched_batches() {
+        let mut l = ConcatLayer::new("cat");
+        let a = Blob::nchw(1, 1, 2, 2);
+        let b = Blob::nchw(2, 1, 2, 2);
+        let mut top = vec![Blob::empty()];
+        l.reshape(&[&a, &b], &mut top);
+    }
+}

@@ -1,0 +1,26 @@
+//! The layer zoo used by the paper's four evaluation networks.
+
+pub mod accuracy;
+pub mod concat;
+pub mod contrastive;
+pub mod conv;
+pub mod dropout;
+pub mod inner_product;
+pub mod kernels;
+pub mod lrn;
+pub mod pooling;
+pub mod relu;
+pub mod softmax_loss;
+pub mod split;
+
+pub use accuracy::AccuracyLayer;
+pub use concat::ConcatLayer;
+pub use contrastive::ContrastiveLossLayer;
+pub use conv::ConvLayer;
+pub use dropout::DropoutLayer;
+pub use inner_product::InnerProductLayer;
+pub use lrn::LrnLayer;
+pub use pooling::{PoolMethod, PoolingLayer};
+pub use relu::ReluLayer;
+pub use softmax_loss::SoftmaxLossLayer;
+pub use split::SplitLayer;

@@ -1,0 +1,124 @@
+//! Split layer (Caffe's `Split`): duplicates a blob so several consumers
+//! can each receive — and back-propagate through — their own copy. The
+//! backward pass *accumulates* the top gradients, which is what makes
+//! fan-out inside a network well-defined.
+
+use crate::exec::ExecCtx;
+use crate::layer::Layer;
+use crate::layers::kernels;
+use glp4nn::Phase;
+use tensor::Blob;
+
+/// Copy one bottom into N tops; sum N top-gradients into the bottom.
+pub struct SplitLayer {
+    name: String,
+}
+
+impl SplitLayer {
+    /// New split layer (top count is taken from the wiring).
+    pub fn new(name: &str) -> Self {
+        SplitLayer {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Layer for SplitLayer {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "Split"
+    }
+
+    fn reshape(&mut self, bottom: &[&Blob], top: &mut [Blob]) {
+        assert_eq!(bottom.len(), 1);
+        assert!(!top.is_empty(), "split needs at least one top");
+        for t in top.iter_mut() {
+            t.resize(bottom[0].shape());
+        }
+    }
+
+    fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
+        ctx.dispatch_single(
+            &self.name,
+            Phase::Forward,
+            kernels::elemwise_kernel("split", bottom[0].count() * top.len(), 0.0),
+        );
+        if !ctx.compute {
+            return;
+        }
+        for t in top.iter_mut() {
+            t.data_mut().copy_from_slice(bottom[0].data());
+        }
+    }
+
+    fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
+        ctx.dispatch_single(
+            &self.name,
+            Phase::Backward,
+            kernels::elemwise_kernel("split_bwd", bottom[0].count() * top.len(), 1.0),
+        );
+        if !ctx.compute {
+            return;
+        }
+        let d = bottom[0].diff_mut();
+        d.copy_from_slice(top[0].diff());
+        for t in &top[1..] {
+            for (dst, src) in d.iter_mut().zip(t.diff()) {
+                *dst += *src;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::DeviceProps;
+
+    #[test]
+    fn forward_copies_to_all_tops() {
+        let mut l = SplitLayer::new("split");
+        let bottom = Blob::from_data(&[3], vec![1.0, 2.0, 3.0]);
+        let mut tops = vec![Blob::empty(), Blob::empty(), Blob::empty()];
+        l.reshape(&[&bottom], &mut tops);
+        let mut ctx = ExecCtx::naive(DeviceProps::p100());
+        l.forward(&mut ctx, &[&bottom], &mut tops);
+        for t in &tops {
+            assert_eq!(t.data(), bottom.data());
+        }
+    }
+
+    #[test]
+    fn backward_accumulates_gradients() {
+        let mut l = SplitLayer::new("split");
+        let bottom = Blob::from_data(&[2], vec![0.0, 0.0]);
+        let mut tops = vec![Blob::empty(), Blob::empty()];
+        l.reshape(&[&bottom], &mut tops);
+        let mut ctx = ExecCtx::naive(DeviceProps::p100());
+        l.forward(&mut ctx, &[&bottom], &mut tops);
+        tops[0].diff_mut().copy_from_slice(&[1.0, 2.0]);
+        tops[1].diff_mut().copy_from_slice(&[10.0, 20.0]);
+        let top_refs: Vec<&Blob> = tops.iter().collect();
+        let mut bottoms = vec![bottom];
+        l.backward(&mut ctx, &top_refs, &mut bottoms);
+        assert_eq!(bottoms[0].diff(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    fn single_top_passthrough() {
+        let mut l = SplitLayer::new("split");
+        let bottom = Blob::from_data(&[2], vec![5.0, 6.0]);
+        let mut tops = vec![Blob::empty()];
+        l.reshape(&[&bottom], &mut tops);
+        let mut ctx = ExecCtx::naive(DeviceProps::p100());
+        l.forward(&mut ctx, &[&bottom], &mut tops);
+        tops[0].diff_mut().copy_from_slice(&[1.0, 1.0]);
+        let top_refs: Vec<&Blob> = tops.iter().collect();
+        let mut bottoms = vec![bottom];
+        l.backward(&mut ctx, &top_refs, &mut bottoms);
+        assert_eq!(bottoms[0].diff(), &[1.0, 1.0]);
+    }
+}

@@ -1,0 +1,324 @@
+//! Synchronous data-parallel training over several simulated GPUs — the
+//! paper's §6 future work ("we will try to provide a distributed
+//! implementation of the proposed framework") built on top of the
+//! single-GPU GLP4NN optimization, in the BSP style of the parameter-server
+//! literature the paper cites.
+//!
+//! Every replica holds an identical copy of the network on its own
+//! simulated device (optionally accelerated by GLP4NN); each step:
+//!
+//! 1. the global batch is split evenly across replicas,
+//! 2. replicas run forward/backward independently (their simulated times
+//!    overlap, so the step's simulated time is the slowest replica's),
+//! 3. gradients are averaged in fixed replica order (deterministic
+//!    all-reduce; its simulated cost models a ring over PCIe),
+//! 4. a single SGD update is applied and parameters broadcast back.
+//!
+//! Averaging sub-batch gradients reproduces full-batch gradients up to
+//! floating-point associativity, so convergence behaviour matches
+//! single-GPU training (verified in tests).
+
+use crate::exec::ExecCtx;
+use crate::net::{Net, NetSpec};
+use crate::solver::SolverConfig;
+use gpu_sim::DeviceProps;
+
+/// PCIe-style interconnect bandwidth for the simulated ring all-reduce.
+const LINK_BYTES_PER_SEC: f64 = 16.0e9;
+
+/// Result of one data-parallel step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepReport {
+    /// Mean loss over replicas.
+    pub loss: f32,
+    /// Simulated compute time: the slowest replica's iteration (ns).
+    pub compute_ns: u64,
+    /// Simulated ring all-reduce time (ns).
+    pub comm_ns: u64,
+}
+
+impl StepReport {
+    /// Total simulated step time.
+    pub fn total_ns(&self) -> u64 {
+        self.compute_ns + self.comm_ns
+    }
+}
+
+/// A synchronous data-parallel trainer.
+pub struct DataParallelTrainer {
+    replicas: Vec<(Net, ExecCtx)>,
+    cfg: SolverConfig,
+    momentum: Vec<Vec<f32>>,
+    iter: usize,
+}
+
+impl DataParallelTrainer {
+    /// Build `devices.len()` replicas of `spec`, one per device. When
+    /// `glp4nn` is true each replica's context runs the full framework
+    /// (profile-then-parallelize per device, as the paper's multi-GPU
+    /// architecture assigns a private analyzer/scheduler per GPU).
+    pub fn new(spec: &NetSpec, devices: &[DeviceProps], glp4nn: bool, cfg: SolverConfig) -> Self {
+        assert!(!devices.is_empty());
+        let replicas = devices
+            .iter()
+            .map(|d| {
+                let ctx = if glp4nn {
+                    ExecCtx::glp4nn(d.clone())
+                } else {
+                    ExecCtx::naive(d.clone())
+                };
+                (Net::from_spec(spec), ctx)
+            })
+            .collect();
+        DataParallelTrainer {
+            replicas,
+            cfg,
+            momentum: Vec::new(),
+            iter: 0,
+        }
+    }
+
+    /// Number of replicas.
+    pub fn num_replicas(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Current iteration.
+    pub fn iteration(&self) -> usize {
+        self.iter
+    }
+
+    /// Access replica `r`'s network (e.g. to fill its input sub-batch).
+    pub fn replica_net(&mut self, r: usize) -> &mut Net {
+        &mut self.replicas[r].0
+    }
+
+    /// One synchronous step. Input sub-batches must already be loaded into
+    /// every replica's input blobs.
+    pub fn step(&mut self) -> StepReport {
+        let r_count = self.replicas.len();
+        let mut losses = Vec::with_capacity(r_count);
+        let mut compute_ns = 0u64;
+        for (net, ctx) in &mut self.replicas {
+            net.zero_param_diffs();
+            ctx.take_timings();
+            let loss = net.forward(ctx);
+            net.backward(ctx);
+            let t: u64 = ctx.take_timings().iter().map(|t| t.elapsed_ns).sum();
+            compute_ns = compute_ns.max(t);
+            losses.push(loss);
+        }
+
+        // Deterministic gradient average into replica 0 (fixed order).
+        let param_bytes: usize;
+        {
+            let inv = 1.0 / r_count as f32;
+            // Collect gradients from replicas 1.. first to appease the
+            // borrow checker, then fold into replica 0.
+            let mut others: Vec<Vec<Vec<f32>>> = Vec::with_capacity(r_count - 1);
+            for (net, _) in self.replicas.iter_mut().skip(1) {
+                others.push(
+                    net.params_mut()
+                        .iter()
+                        .map(|p| p.diff().to_vec())
+                        .collect(),
+                );
+            }
+            let mut master = self.replicas[0].0.params_mut();
+            param_bytes = master.iter().map(|p| p.count() * 4).sum();
+            for (pi, p) in master.iter_mut().enumerate() {
+                let d = p.diff_mut();
+                for other in &others {
+                    for (dst, src) in d.iter_mut().zip(&other[pi]) {
+                        *dst += *src;
+                    }
+                }
+                for v in d.iter_mut() {
+                    *v *= inv;
+                }
+            }
+        }
+
+        // SGD update on replica 0 (same rule as `Solver::step`).
+        let lr = self.cfg.base_lr; // fixed policy in the data-parallel path
+        {
+            let mut master = self.replicas[0].0.params_mut();
+            if self.momentum.len() != master.len() {
+                self.momentum = master.iter().map(|p| vec![0.0; p.count()]).collect();
+            }
+            for (p, h) in master.iter_mut().zip(&mut self.momentum) {
+                let (data, diff) = p.data_and_diff_mut();
+                for i in 0..data.len() {
+                    let g = diff[i] + self.cfg.weight_decay * data[i];
+                    h[i] = self.cfg.momentum * h[i] + lr * g;
+                    data[i] -= h[i];
+                }
+            }
+        }
+
+        // Broadcast parameters to the other replicas.
+        let master_params: Vec<Vec<f32>> = self.replicas[0]
+            .0
+            .params_mut()
+            .iter()
+            .map(|p| p.data().to_vec())
+            .collect();
+        for (net, _) in self.replicas.iter_mut().skip(1) {
+            for (p, src) in net.params_mut().iter_mut().zip(&master_params) {
+                p.data_mut().copy_from_slice(src);
+            }
+        }
+
+        // Ring all-reduce cost: 2(R-1)/R × bytes over the link.
+        let comm_ns = if r_count > 1 {
+            let factor = 2.0 * (r_count as f64 - 1.0) / r_count as f64;
+            (factor * param_bytes as f64 / LINK_BYTES_PER_SEC * 1e9) as u64
+        } else {
+            0
+        };
+
+        self.iter += 1;
+        StepReport {
+            loss: losses.iter().sum::<f32>() / r_count as f32,
+            compute_ns,
+            comm_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::SyntheticDataset;
+    use crate::models;
+    use crate::solver::{MomentumKind, Solver};
+    use tensor::Blob;
+
+    fn fill(net: &mut Net, ds: &SyntheticDataset, start: usize) {
+        let mut data = std::mem::replace(net.blob_mut("data"), Blob::empty());
+        let mut label = std::mem::replace(net.blob_mut("label"), Blob::empty());
+        ds.fill_batch(start, &mut data, &mut label);
+        *net.blob_mut("data") = data;
+        *net.blob_mut("label") = label;
+    }
+
+    fn cfg() -> SolverConfig {
+        SolverConfig {
+            base_lr: 0.01,
+            momentum: 0.9,
+            momentum_kind: MomentumKind::Classical,
+            weight_decay: 0.0,
+            policy: crate::solver::LrPolicy::Fixed,
+        }
+    }
+
+    #[test]
+    fn two_replicas_match_single_gpu_training() {
+        let total_batch = 16;
+        let ds = SyntheticDataset::cifar_like(11);
+
+        // Single GPU, full batch.
+        let mut single = Solver::new(
+            Net::from_spec(&models::cifar10_quick(total_batch, 9)),
+            cfg(),
+        );
+        let mut ctx = ExecCtx::naive(DeviceProps::p100());
+        let mut single_losses = Vec::new();
+        for it in 0..3 {
+            fill(&mut single.net, &ds, it * total_batch);
+            single_losses.push(single.step(&mut ctx));
+        }
+
+        // Two replicas, half batch each, same sample order.
+        let spec = models::cifar10_quick(total_batch / 2, 9);
+        let mut dp = DataParallelTrainer::new(
+            &spec,
+            &[DeviceProps::p100(), DeviceProps::p100()],
+            false,
+            cfg(),
+        );
+        let mut dp_losses = Vec::new();
+        for it in 0..3 {
+            fill(dp.replica_net(0), &ds, it * total_batch);
+            fill(dp.replica_net(1), &ds, it * total_batch + total_batch / 2);
+            dp_losses.push(dp.step().loss);
+        }
+
+        for (s, d) in single_losses.iter().zip(&dp_losses) {
+            assert!(
+                (s - d).abs() < 2e-3,
+                "data-parallel loss must track single-GPU: {s} vs {d}"
+            );
+        }
+    }
+
+    #[test]
+    fn replicas_stay_in_sync() {
+        let spec = models::cifar10_quick(8, 3);
+        let ds = SyntheticDataset::cifar_like(3);
+        let mut dp = DataParallelTrainer::new(
+            &spec,
+            &[DeviceProps::k40c(), DeviceProps::p100()],
+            false,
+            cfg(),
+        );
+        for it in 0..2 {
+            fill(dp.replica_net(0), &ds, it * 16);
+            fill(dp.replica_net(1), &ds, it * 16 + 8);
+            dp.step();
+        }
+        let w0: Vec<f32> = dp.replicas[0].0.params_mut()[0].data().to_vec();
+        let w1: Vec<f32> = dp.replicas[1].0.params_mut()[0].data().to_vec();
+        assert_eq!(w0, w1, "broadcast must keep replicas identical");
+        assert_eq!(dp.iteration(), 2);
+    }
+
+    #[test]
+    fn comm_cost_scales_with_replicas() {
+        let spec = models::cifar10_quick(8, 3);
+        let ds = SyntheticDataset::cifar_like(3);
+        let one = {
+            let mut dp = DataParallelTrainer::new(&spec, &[DeviceProps::p100()], false, cfg());
+            fill(dp.replica_net(0), &ds, 0);
+            dp.step()
+        };
+        assert_eq!(one.comm_ns, 0, "single replica needs no all-reduce");
+        let two = {
+            let mut dp = DataParallelTrainer::new(
+                &spec,
+                &[DeviceProps::p100(), DeviceProps::p100()],
+                false,
+                cfg(),
+            );
+            fill(dp.replica_net(0), &ds, 0);
+            fill(dp.replica_net(1), &ds, 8);
+            dp.step()
+        };
+        assert!(two.comm_ns > 0);
+        assert!(two.total_ns() > two.compute_ns);
+    }
+
+    #[test]
+    fn glp4nn_replicas_accelerate_after_profiling() {
+        let spec = models::cifar10_quick(16, 3);
+        let ds = SyntheticDataset::cifar_like(3);
+        let mut dp = DataParallelTrainer::new(
+            &spec,
+            &[DeviceProps::p100(), DeviceProps::p100()],
+            true,
+            cfg(),
+        );
+        fill(dp.replica_net(0), &ds, 0);
+        fill(dp.replica_net(1), &ds, 16);
+        let first = dp.step(); // profiling iteration on both replicas
+        fill(dp.replica_net(0), &ds, 32);
+        fill(dp.replica_net(1), &ds, 48);
+        let second = dp.step(); // steady state
+        assert!(
+            second.compute_ns < first.compute_ns,
+            "GLP4NN steady state must be faster: {} vs {}",
+            second.compute_ns,
+            first.compute_ns
+        );
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests for the layer zoo — most importantly the premise of the
+//! paper's batch-level parallelism: samples of a batch are processed
+//! independently, so computing a batch in one go is bitwise identical to
+//! computing its samples in any partition.
+
+use gpu_sim::DeviceProps;
+use nn::layer::Layer;
+use nn::layers::conv::{ConvConfig, ConvLayer};
+use nn::layers::{PoolMethod, PoolingLayer, ReluLayer};
+use nn::ExecCtx;
+use proptest::prelude::*;
+use tensor::Blob;
+
+fn ctx() -> ExecCtx {
+    ExecCtx::naive(DeviceProps::p100())
+}
+
+fn data(len: usize, seed: u64) -> Vec<f32> {
+    (0..len)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(seed.wrapping_mul(0xD6E8FEB86659FD93));
+            ((h >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+fn forward_conv(cfg: ConvConfig, bottom: &Blob, seed: u64) -> Vec<f32> {
+    let mut l = ConvLayer::new("c", cfg, seed);
+    let mut top = vec![Blob::empty()];
+    let mut c = ctx();
+    l.reshape(&[bottom], &mut top);
+    l.forward(&mut c, &[bottom], &mut top);
+    top[0].data().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The batch-level-parallelism premise (paper Algorithms 1-2, line 2):
+    /// forward of a batch equals the concatenation of forwards of any
+    /// split of the batch, bitwise.
+    #[test]
+    fn conv_batch_split_is_bitwise_identical(
+        n in 2usize..6,
+        ci in 1usize..4,
+        hw in 4usize..10,
+        co in 1usize..5,
+        kernel in 1usize..4,
+        split in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        prop_assume!(hw >= kernel);
+        prop_assume!(split < n);
+        let cfg = ConvConfig { num_output: co, kernel, stride: 1, pad: 0 };
+        let full = Blob::from_data(&[n, ci, hw, hw], data(n * ci * hw * hw, seed));
+        let whole = forward_conv(cfg, &full, seed);
+
+        // Split into [0, split) and [split, n).
+        let stride = ci * hw * hw;
+        let first = Blob::from_data(
+            &[split, ci, hw, hw],
+            full.data()[..split * stride].to_vec(),
+        );
+        let second = Blob::from_data(
+            &[n - split, ci, hw, hw],
+            full.data()[split * stride..].to_vec(),
+        );
+        let mut parts = forward_conv(cfg, &first, seed);
+        parts.extend(forward_conv(cfg, &second, seed));
+        prop_assert_eq!(
+            whole.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parts.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// Max pooling never invents values: every output element appears in
+    /// the input, and outputs dominate their windows.
+    #[test]
+    fn max_pool_outputs_come_from_input(
+        n in 1usize..3, c in 1usize..3, hw in 2usize..8,
+        kernel in 1usize..4, seed in 0u64..100,
+    ) {
+        prop_assume!(kernel <= hw);
+        let mut l = PoolingLayer::new("p", PoolMethod::Max, kernel, kernel);
+        let bottom = Blob::from_data(&[n, c, hw, hw], data(n * c * hw * hw, seed));
+        let mut top = vec![Blob::empty()];
+        let mut cx = ctx();
+        l.reshape(&[&bottom], &mut top);
+        l.forward(&mut cx, &[&bottom], &mut top);
+        let inputs: std::collections::HashSet<u32> =
+            bottom.data().iter().map(|v| v.to_bits()).collect();
+        for v in top[0].data() {
+            prop_assert!(inputs.contains(&v.to_bits()), "pooling invented {v}");
+        }
+    }
+
+    /// ReLU is idempotent and non-negative.
+    #[test]
+    fn relu_idempotent(len in 1usize..200, seed in 0u64..100) {
+        let mut l = ReluLayer::new("r");
+        let bottom = Blob::from_data(&[len], data(len, seed));
+        let mut top = vec![Blob::empty()];
+        let mut cx = ctx();
+        l.reshape(&[&bottom], &mut top);
+        l.forward(&mut cx, &[&bottom], &mut top);
+        prop_assert!(top[0].data().iter().all(|&v| v >= 0.0));
+        let once = top[0].data().to_vec();
+        let again_in = Blob::from_data(&[len], once.clone());
+        let mut top2 = vec![Blob::empty()];
+        l.reshape(&[&again_in], &mut top2);
+        l.forward(&mut cx, &[&again_in], &mut top2);
+        prop_assert_eq!(top2[0].data(), &once[..]);
+    }
+
+    /// Average pooling preserves the global mean when windows tile the
+    /// input exactly.
+    #[test]
+    fn ave_pool_preserves_mean(
+        n in 1usize..3, c in 1usize..3, tiles in 1usize..4,
+        kernel in 1usize..4, seed in 0u64..100,
+    ) {
+        let hw = tiles * kernel;
+        let mut l = PoolingLayer::new("p", PoolMethod::Average, kernel, kernel);
+        let bottom = Blob::from_data(&[n, c, hw, hw], data(n * c * hw * hw, seed));
+        let mut top = vec![Blob::empty()];
+        let mut cx = ctx();
+        l.reshape(&[&bottom], &mut top);
+        l.forward(&mut cx, &[&bottom], &mut top);
+        let mean_in: f64 = bottom.data().iter().map(|&v| v as f64).sum::<f64>()
+            / bottom.count() as f64;
+        let mean_out: f64 = top[0].data().iter().map(|&v| v as f64).sum::<f64>()
+            / top[0].count() as f64;
+        prop_assert!((mean_in - mean_out).abs() < 1e-4,
+            "mean {mean_in} vs {mean_out}");
+    }
+}

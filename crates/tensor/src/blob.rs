@@ -1,0 +1,258 @@
+//! Caffe-style blobs: N-dimensional `f32` tensors with a paired gradient.
+//!
+//! A blob carries `data` (activations / weights) and `diff` (gradients),
+//! both shaped `N × C × H × W` for 4-D blobs (batch, channels, height,
+//! width) or arbitrary dims for others — the exact layout Caffe's layers
+//! expect in Algorithms 1 and 2 of the paper (`bottom`, `top`, `weight`,
+//! `bias` are all blobs).
+
+/// An N-dimensional tensor with data and gradient storage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blob {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+    diff: Vec<f32>,
+}
+
+impl Blob {
+    /// A blob of the given shape, zero-filled.
+    pub fn new(shape: &[usize]) -> Self {
+        let count = shape.iter().product();
+        Blob {
+            shape: shape.to_vec(),
+            data: vec![0.0; count],
+            diff: vec![0.0; count],
+        }
+    }
+
+    /// A 4-D `N×C×H×W` blob.
+    pub fn nchw(n: usize, c: usize, h: usize, w: usize) -> Self {
+        Self::new(&[n, c, h, w])
+    }
+
+    /// An empty (zero-dim) blob.
+    pub fn empty() -> Self {
+        Blob {
+            shape: vec![],
+            data: vec![],
+            diff: vec![],
+        }
+    }
+
+    /// Build from existing data with the given shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_data(shape: &[usize], data: Vec<f32>) -> Self {
+        let count: usize = shape.iter().product();
+        assert_eq!(data.len(), count, "data length does not match shape");
+        let diff = vec![0.0; count];
+        Blob {
+            shape: shape.to_vec(),
+            data,
+            diff,
+        }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn count(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Batch dimension (dim 0; 1 for lower-rank blobs).
+    pub fn num(&self) -> usize {
+        self.shape.first().copied().unwrap_or(1)
+    }
+
+    /// Channel dimension (dim 1; 1 if absent).
+    pub fn channels(&self) -> usize {
+        self.shape.get(1).copied().unwrap_or(1)
+    }
+
+    /// Height (dim 2; 1 if absent).
+    pub fn height(&self) -> usize {
+        self.shape.get(2).copied().unwrap_or(1)
+    }
+
+    /// Width (dim 3; 1 if absent).
+    pub fn width(&self) -> usize {
+        self.shape.get(3).copied().unwrap_or(1)
+    }
+
+    /// Flat offset of `(n, c, h, w)` in NCHW layout.
+    pub fn offset(&self, n: usize, c: usize, h: usize, w: usize) -> usize {
+        ((n * self.channels() + c) * self.height() + h) * self.width() + w
+    }
+
+    /// Reshape in place; element count must be preserved.
+    pub fn reshape(&mut self, shape: &[usize]) {
+        let count: usize = shape.iter().product();
+        assert_eq!(count, self.data.len(), "reshape must preserve count");
+        self.shape = shape.to_vec();
+    }
+
+    /// Resize, reallocating and zero-filling if the count changes.
+    pub fn resize(&mut self, shape: &[usize]) {
+        let count: usize = shape.iter().product();
+        if count != self.data.len() {
+            self.data = vec![0.0; count];
+            self.diff = vec![0.0; count];
+        }
+        self.shape = shape.to_vec();
+    }
+
+    /// Immutable view of the data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Immutable view of the gradient.
+    pub fn diff(&self) -> &[f32] {
+        &self.diff
+    }
+
+    /// Mutable view of the gradient.
+    pub fn diff_mut(&mut self) -> &mut [f32] {
+        &mut self.diff
+    }
+
+    /// Simultaneous mutable access to data and diff (for in-place updates
+    /// like `data -= lr * diff`).
+    pub fn data_and_diff_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.data, &mut self.diff)
+    }
+
+    /// Zero the gradient.
+    pub fn zero_diff(&mut self) {
+        self.diff.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Zero the data.
+    pub fn zero_data(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// L2 norm of the data (diagnostics).
+    pub fn data_l2(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute data values (Caffe's `asum_data`).
+    pub fn asum_data(&self) -> f32 {
+        self.data.iter().map(|v| v.abs()).sum()
+    }
+
+    /// Apply `data -= rate * diff` (plain SGD step on this blob).
+    pub fn sgd_step(&mut self, rate: f32) {
+        for (d, g) in self.data.iter_mut().zip(&self.diff) {
+            *d -= rate * g;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_dims() {
+        let b = Blob::nchw(2, 3, 4, 5);
+        assert_eq!(b.count(), 120);
+        assert_eq!(b.num(), 2);
+        assert_eq!(b.channels(), 3);
+        assert_eq!(b.height(), 4);
+        assert_eq!(b.width(), 5);
+        assert!(b.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn offset_is_row_major_nchw() {
+        let b = Blob::nchw(2, 3, 4, 5);
+        assert_eq!(b.offset(0, 0, 0, 0), 0);
+        assert_eq!(b.offset(0, 0, 0, 1), 1);
+        assert_eq!(b.offset(0, 0, 1, 0), 5);
+        assert_eq!(b.offset(0, 1, 0, 0), 20);
+        assert_eq!(b.offset(1, 0, 0, 0), 60);
+        assert_eq!(b.offset(1, 2, 3, 4), 119);
+    }
+
+    #[test]
+    fn lower_rank_blobs_default_dims() {
+        let b = Blob::new(&[10]);
+        assert_eq!(b.num(), 10);
+        assert_eq!(b.channels(), 1);
+        assert_eq!(b.height(), 1);
+        assert_eq!(b.width(), 1);
+        let e = Blob::empty();
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.num(), 1);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let mut b = Blob::from_data(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        b.reshape(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data()[4], 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "preserve count")]
+    fn reshape_rejects_count_change() {
+        let mut b = Blob::new(&[4]);
+        b.reshape(&[5]);
+    }
+
+    #[test]
+    fn resize_reallocates_when_needed() {
+        let mut b = Blob::from_data(&[2], vec![1.0, 2.0]);
+        b.resize(&[2, 2]);
+        assert_eq!(b.count(), 4);
+        assert!(b.data().iter().all(|&v| v == 0.0));
+        // Same-count resize keeps data.
+        let mut c = Blob::from_data(&[4], vec![1.0, 2.0, 3.0, 4.0]);
+        c.resize(&[2, 2]);
+        assert_eq!(c.data()[3], 4.0);
+    }
+
+    #[test]
+    fn sgd_step_updates_data() {
+        let mut b = Blob::from_data(&[3], vec![1.0, 2.0, 3.0]);
+        b.diff_mut().copy_from_slice(&[0.5, 0.5, 0.5]);
+        b.sgd_step(2.0);
+        assert_eq!(b.data(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let b = Blob::from_data(&[2], vec![3.0, -4.0]);
+        assert!((b.data_l2() - 5.0).abs() < 1e-6);
+        assert!((b.asum_data() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zeroing() {
+        let mut b = Blob::from_data(&[2], vec![1.0, 2.0]);
+        b.diff_mut().copy_from_slice(&[9.0, 9.0]);
+        b.zero_diff();
+        assert!(b.diff().iter().all(|&v| v == 0.0));
+        b.zero_data();
+        assert!(b.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_data_validates_length() {
+        Blob::from_data(&[3], vec![1.0]);
+    }
+}

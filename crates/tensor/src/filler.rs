@@ -1,0 +1,116 @@
+//! Weight initializers (Caffe's "fillers"), all seeded for reproducible
+//! training runs — the convergence-invariance experiment (paper Fig. 11)
+//! requires the naive and GLP4NN runs to start from identical parameters.
+
+use rand::distributions::Distribution;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A weight-initialization scheme.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Filler {
+    /// All elements set to the value.
+    Constant(f32),
+    /// Uniform on `[lo, hi]`.
+    Uniform(f32, f32),
+    /// Gaussian with mean 0 and the given standard deviation.
+    Gaussian(f32),
+    /// Xavier/Glorot: uniform on `±sqrt(3 / fan_in)`.
+    Xavier,
+}
+
+impl Filler {
+    /// Fill `data` in place. `fan_in` is the number of inputs feeding each
+    /// output (used by Xavier); `seed` makes the fill deterministic.
+    pub fn fill(&self, data: &mut [f32], fan_in: usize, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        match *self {
+            Filler::Constant(v) => data.iter_mut().for_each(|x| *x = v),
+            Filler::Uniform(lo, hi) => {
+                assert!(hi >= lo, "invalid uniform range");
+                let d = rand::distributions::Uniform::new_inclusive(lo, hi);
+                data.iter_mut().for_each(|x| *x = d.sample(&mut rng));
+            }
+            Filler::Gaussian(std) => {
+                // Box-Muller transform; avoids needing rand_distr.
+                let u = rand::distributions::Uniform::new(f32::EPSILON, 1.0f32);
+                let next_pair = |rng: &mut StdRng| {
+                    let u1: f32 = u.sample(rng);
+                    let u2: f32 = u.sample(rng);
+                    let r = (-2.0 * u1.ln()).sqrt();
+                    let theta = 2.0 * std::f32::consts::PI * u2;
+                    (r * theta.cos() * std, r * theta.sin() * std)
+                };
+                let mut i = 0;
+                while i < data.len() {
+                    let (a, b) = next_pair(&mut rng);
+                    data[i] = a;
+                    if i + 1 < data.len() {
+                        data[i + 1] = b;
+                    }
+                    i += 2;
+                }
+            }
+            Filler::Xavier => {
+                let scale = (3.0f32 / fan_in.max(1) as f32).sqrt();
+                let d = rand::distributions::Uniform::new_inclusive(-scale, scale);
+                data.iter_mut().for_each(|x| *x = d.sample(&mut rng));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_fill() {
+        let mut d = vec![0.0f32; 8];
+        Filler::Constant(1.5).fill(&mut d, 1, 0);
+        assert!(d.iter().all(|&v| v == 1.5));
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut d = vec![0.0f32; 1000];
+        Filler::Uniform(-0.5, 0.5).fill(&mut d, 1, 7);
+        assert!(d.iter().all(|&v| (-0.5..=0.5).contains(&v)));
+        // Not all equal (it is actually random).
+        assert!(d.iter().any(|&v| v != d[0]));
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut d = vec![0.0f32; 20_000];
+        Filler::Gaussian(0.1).fill(&mut d, 1, 13);
+        let mean: f32 = d.iter().sum::<f32>() / d.len() as f32;
+        let var: f32 = d.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / d.len() as f32;
+        assert!(mean.abs() < 0.005, "mean {mean}");
+        assert!((var.sqrt() - 0.1).abs() < 0.01, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_scale_shrinks_with_fan_in() {
+        let mut small = vec![0.0f32; 1000];
+        let mut large = vec![0.0f32; 1000];
+        Filler::Xavier.fill(&mut small, 10, 3);
+        Filler::Xavier.fill(&mut large, 1000, 3);
+        let max_s = small.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        let max_l = large.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        assert!(max_s > max_l * 3.0);
+        assert!(max_s <= (3.0f32 / 10.0).sqrt() + 1e-6);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let mut a = vec![0.0f32; 64];
+        let mut b = vec![0.0f32; 64];
+        Filler::Gaussian(1.0).fill(&mut a, 1, 42);
+        Filler::Gaussian(1.0).fill(&mut b, 1, 42);
+        assert_eq!(a, b);
+        let mut c = vec![0.0f32; 64];
+        Filler::Gaussian(1.0).fill(&mut c, 1, 43);
+        assert_ne!(a, c);
+    }
+}

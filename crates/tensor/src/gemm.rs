@@ -1,0 +1,330 @@
+//! Blocked single-precision GEMM (the `sgemm` of the paper's Fig. 6).
+//!
+//! Row-major `C = α·op(A)·op(B) + β·C` with cache-blocked inner loops and
+//! optional parallelism over row panels of `C`. This is the CPU stand-in
+//! for cuBLAS: every convolutional and fully-connected layer bottoms out
+//! here, exactly as Caffe's `forward_gpu` bottoms out in
+//! `cublasSgemm`.
+//!
+//! The kernel is deterministic: accumulation order is fixed regardless of
+//! thread count (each output element is accumulated by exactly one thread
+//! in a fixed k-order), which underpins the framework's
+//! convergence-invariance guarantee.
+
+use crate::pool::parallel_for_rows;
+
+/// Whether an operand is used as-is or transposed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transpose {
+    /// Use the matrix as stored.
+    No,
+    /// Use the transpose of the stored matrix.
+    Yes,
+}
+
+/// Row-major GEMM: `C[m×n] = α · op(A)[m×k] · op(B)[k×n] + β · C`.
+///
+/// `a` is `m×k` when `ta == No`, else `k×m` (stored row-major either way);
+/// likewise for `b`.
+///
+/// # Panics
+/// Panics when slice lengths do not match the given dimensions.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemm signature
+pub fn sgemm(
+    ta: Transpose,
+    tb: Transpose,
+    m: usize,
+    n: usize,
+    k: usize,
+    alpha: f32,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "A size mismatch");
+    assert_eq!(b.len(), k * n, "B size mismatch");
+    assert_eq!(c.len(), m * n, "C size mismatch");
+
+    // Scale C by beta first.
+    if beta == 0.0 {
+        c.iter_mut().for_each(|v| *v = 0.0);
+    } else if beta != 1.0 {
+        c.iter_mut().for_each(|v| *v *= beta);
+    }
+    if alpha == 0.0 || m == 0 || n == 0 {
+        return;
+    }
+
+    // Parallel over row-panels of C; each worker owns disjoint C rows, so
+    // the computation is race-free and order-deterministic.
+    parallel_for_rows(c, n, |row0, c_chunk| {
+        let rows = c_chunk.len() / n;
+        match (ta, tb) {
+            (Transpose::No, Transpose::No) => {
+                // C[i][j] += alpha * A[i][p] * B[p][j]  (ikj order, B streamed).
+                for i in 0..rows {
+                    let ai = row0 + i;
+                    let crow = &mut c_chunk[i * n..(i + 1) * n];
+                    for p in 0..k {
+                        let av = alpha * a[ai * k + p];
+                        if av != 0.0 {
+                            let brow = &b[p * n..(p + 1) * n];
+                            for (cv, bv) in crow.iter_mut().zip(brow) {
+                                *cv += av * bv;
+                            }
+                        }
+                    }
+                }
+            }
+            (Transpose::No, Transpose::Yes) => {
+                // B stored n×k; C[i][j] += alpha * A[i][p] * B[j][p] (dot rows).
+                for i in 0..rows {
+                    let ai = row0 + i;
+                    let arow = &a[ai * k..(ai + 1) * k];
+                    for j in 0..n {
+                        let brow = &b[j * k..(j + 1) * k];
+                        let mut acc = 0.0f32;
+                        for (av, bv) in arow.iter().zip(brow) {
+                            acc += av * bv;
+                        }
+                        c_chunk[i * n + j] += alpha * acc;
+                    }
+                }
+            }
+            (Transpose::Yes, Transpose::No) => {
+                // A stored k×m; C[i][j] += alpha * A[p][i] * B[p][j].
+                for p in 0..k {
+                    let arow = &a[p * m..(p + 1) * m];
+                    let brow = &b[p * n..(p + 1) * n];
+                    for i in 0..rows {
+                        let av = alpha * arow[row0 + i];
+                        if av != 0.0 {
+                            let crow = &mut c_chunk[i * n..(i + 1) * n];
+                            for (cv, bv) in crow.iter_mut().zip(brow) {
+                                *cv += av * bv;
+                            }
+                        }
+                    }
+                }
+            }
+            (Transpose::Yes, Transpose::Yes) => {
+                // C[i][j] += alpha * A[p][i] * B[j][p].
+                for i in 0..rows {
+                    let ai = row0 + i;
+                    for j in 0..n {
+                        let mut acc = 0.0f32;
+                        for p in 0..k {
+                            acc += a[p * m + ai] * b[j * k + p];
+                        }
+                        c_chunk[i * n + j] += alpha * acc;
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Row-major GEMV: `y = α · op(A)[m×n] · x + β · y`.
+#[allow(clippy::too_many_arguments)] // mirrors the BLAS sgemv signature
+pub fn sgemv(
+    ta: Transpose,
+    m: usize,
+    n: usize,
+    alpha: f32,
+    a: &[f32],
+    x: &[f32],
+    beta: f32,
+    y: &mut [f32],
+) {
+    match ta {
+        Transpose::No => {
+            assert_eq!(a.len(), m * n);
+            assert_eq!(x.len(), n);
+            assert_eq!(y.len(), m);
+            for (i, yv) in y.iter_mut().enumerate() {
+                let row = &a[i * n..(i + 1) * n];
+                let mut acc = 0.0f32;
+                for (av, xv) in row.iter().zip(x) {
+                    acc += av * xv;
+                }
+                *yv = alpha * acc + beta * *yv;
+            }
+        }
+        Transpose::Yes => {
+            assert_eq!(a.len(), m * n);
+            assert_eq!(x.len(), m);
+            assert_eq!(y.len(), n);
+            if beta == 0.0 {
+                y.iter_mut().for_each(|v| *v = 0.0);
+            } else if beta != 1.0 {
+                y.iter_mut().for_each(|v| *v *= beta);
+            }
+            for i in 0..m {
+                let xv = alpha * x[i];
+                if xv != 0.0 {
+                    let row = &a[i * n..(i + 1) * n];
+                    for (yv, av) in y.iter_mut().zip(row) {
+                        *yv += xv * av;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference implementation.
+    fn reference(
+        ta: Transpose,
+        tb: Transpose,
+        m: usize,
+        n: usize,
+        k: usize,
+        alpha: f32,
+        a: &[f32],
+        b: &[f32],
+        beta: f32,
+        c: &mut [f32],
+    ) {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    let av = match ta {
+                        Transpose::No => a[i * k + p],
+                        Transpose::Yes => a[p * m + i],
+                    };
+                    let bv = match tb {
+                        Transpose::No => b[p * n + j],
+                        Transpose::Yes => b[j * k + p],
+                    };
+                    acc += av * bv;
+                }
+                c[i * n + j] = alpha * acc + beta * c[i * n + j];
+            }
+        }
+    }
+
+    fn seq(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i % 13) as f32 - 6.0) * scale).collect()
+    }
+
+    #[test]
+    fn matches_reference_all_transpose_combos() {
+        let (m, n, k) = (7, 9, 11);
+        let a = seq(m * k, 0.5);
+        let b = seq(k * n, 0.25);
+        for &ta in &[Transpose::No, Transpose::Yes] {
+            for &tb in &[Transpose::No, Transpose::Yes] {
+                let mut c1 = seq(m * n, 1.0);
+                let mut c2 = c1.clone();
+                sgemm(ta, tb, m, n, k, 1.5, &a, &b, 0.5, &mut c1);
+                reference(ta, tb, m, n, k, 1.5, &a, &b, 0.5, &mut c2);
+                for (x, y) in c1.iter().zip(&c2) {
+                    assert!((x - y).abs() < 1e-3, "{ta:?}/{tb:?}: {x} vs {y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identity_times_matrix() {
+        let n = 4;
+        let mut eye = vec![0.0f32; n * n];
+        for i in 0..n {
+            eye[i * n + i] = 1.0;
+        }
+        let b = seq(n * n, 1.0);
+        let mut c = vec![0.0f32; n * n];
+        sgemm(Transpose::No, Transpose::No, n, n, n, 1.0, &eye, &b, 0.0, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn beta_zero_overwrites_nan() {
+        // beta=0 must overwrite even if C held NaN (BLAS semantics).
+        let mut c = vec![f32::NAN; 4];
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        sgemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        assert!(c.iter().all(|v| (*v - 2.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn alpha_zero_scales_only() {
+        let a = vec![1.0f32; 4];
+        let b = vec![1.0f32; 4];
+        let mut c = vec![2.0f32; 4];
+        sgemm(Transpose::No, Transpose::No, 2, 2, 2, 0.0, &a, &b, 0.5, &mut c);
+        assert!(c.iter().all(|v| (*v - 1.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn large_parallel_matches_reference() {
+        let (m, n, k) = (128, 96, 64);
+        let a = seq(m * k, 0.1);
+        let b = seq(k * n, 0.2);
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        sgemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c1);
+        reference(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (m, n, k) = (64, 64, 64);
+        let a = seq(m * k, 0.3);
+        let b = seq(k * n, 0.7);
+        let run = || {
+            let mut c = vec![0.0f32; m * n];
+            sgemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+            c
+        };
+        assert_eq!(run(), run()); // bitwise
+    }
+
+    #[test]
+    fn gemv_no_trans() {
+        // [1 2; 3 4] * [1, 1] = [3, 7]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let x = vec![1.0, 1.0];
+        let mut y = vec![0.0; 2];
+        sgemv(Transpose::No, 2, 2, 1.0, &a, &x, 0.0, &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn gemv_trans() {
+        // A^T * x with A=[1 2; 3 4], x=[1,1] -> [4, 6]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let x = vec![1.0, 1.0];
+        let mut y = vec![0.0; 2];
+        sgemv(Transpose::Yes, 2, 2, 1.0, &a, &x, 0.0, &mut y);
+        assert_eq!(y, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "A size mismatch")]
+    fn dimension_checked() {
+        let mut c = vec![0.0f32; 4];
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            &[1.0; 3],
+            &[1.0; 4],
+            0.0,
+            &mut c,
+        );
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Numeric substrate for the Caffe-like framework: blobs, BLAS-style
+//! kernels, im2col, fillers, and a small scoped-thread worker pool.
+//!
+//! The GLP4NN paper's host-side math (the computation *inside* each GPU
+//! kernel) is provided by cuBLAS/cuDNN on real hardware. Here the same
+//! operations run on the CPU in `f32`, so convergence experiments
+//! (paper Fig. 11) are *real* training runs, while the corresponding
+//! simulated kernels only account time on the simulated GPU device (the `gpu-sim` crate).
+//!
+//! Determinism matters: the GLP4NN execution path splits a batch into
+//! chunks whose outputs land in disjoint regions of the same blob, so the
+//! optimized and naive paths produce **bitwise identical** results — the
+//! convergence-invariance property the paper proves in §3.3.1.
+
+pub mod blob;
+pub mod filler;
+pub mod gemm;
+pub mod im2col;
+pub mod math;
+pub mod pool;
+
+pub use blob::Blob;
+pub use filler::Filler;
+pub use gemm::{sgemm, Transpose};
+pub use im2col::{col2im, im2col, conv_out_dim, ConvGeometry};
+pub use pool::parallel_for;

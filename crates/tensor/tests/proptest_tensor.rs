@@ -1,0 +1,145 @@
+//! Property tests for the numeric substrate.
+
+use proptest::prelude::*;
+use tensor::gemm::{sgemm, Transpose};
+use tensor::im2col::{col2im, im2col, ConvGeometry};
+
+fn naive_gemm(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// sgemm agrees with a naive triple-loop within f32 tolerance.
+    #[test]
+    fn gemm_matches_naive(
+        m in 1usize..24, n in 1usize..24, k in 1usize..24,
+        seed in 0u64..1000,
+    ) {
+        let gen = |len: usize, s: u64| -> Vec<f32> {
+            (0..len).map(|i| (((i as u64 * 2654435761 + s * 97) % 17) as f32 - 8.0) / 4.0).collect()
+        };
+        let a = gen(m * k, seed);
+        let b = gen(k * n, seed + 1);
+        let mut c = vec![0.0f32; m * n];
+        sgemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+        let r = naive_gemm(m, n, k, &a, &b);
+        for (x, y) in c.iter().zip(&r) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// Transposing inputs is equivalent to pre-transposing the matrices.
+    #[test]
+    fn gemm_transpose_consistency(
+        m in 1usize..12, n in 1usize..12, k in 1usize..12,
+    ) {
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 - 2.0).collect();
+        // Build A^T stored row-major (k×m) and ask for Transpose::Yes.
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c1 = vec![0.0f32; m * n];
+        let mut c2 = vec![0.0f32; m * n];
+        sgemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c1);
+        sgemm(Transpose::Yes, Transpose::No, m, n, k, 1.0, &at, &b, 0.0, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    /// im2col then col2im computes, per pixel, (pixel value × number of
+    /// windows covering it) — verified against direct counting.
+    #[test]
+    fn im2col_col2im_multiplicity(
+        h in 3usize..10, w in 3usize..10,
+        kernel in 1usize..4, stride in 1usize..3, pad in 0usize..2,
+        channels in 1usize..3,
+    ) {
+        prop_assume!(h + 2 * pad >= kernel && w + 2 * pad >= kernel);
+        let geom = ConvGeometry::square(kernel, stride, pad);
+        let im: Vec<f32> = (0..channels * h * w).map(|i| (i % 11) as f32 * 0.5).collect();
+        let out_h = geom.out_h(h);
+        let out_w = geom.out_w(w);
+        let mut col = vec![0.0f32; channels * kernel * kernel * out_h * out_w];
+        im2col(&im, channels, h, w, &geom, &mut col);
+        let mut back = vec![0.0f32; im.len()];
+        col2im(&col, channels, h, w, &geom, &mut back);
+
+        // Count window coverage per pixel directly.
+        for c in 0..channels {
+            for y in 0..h {
+                for x in 0..w {
+                    let mut cover = 0usize;
+                    for kh in 0..kernel {
+                        for kw in 0..kernel {
+                            // Window position (oh, ow) samples (y, x) at tap (kh, kw)
+                            // iff oh*stride + kh - pad == y (same for x).
+                            let ny = y as isize + pad as isize - kh as isize;
+                            let nx = x as isize + pad as isize - kw as isize;
+                            if ny >= 0 && nx >= 0
+                                && ny % stride as isize == 0 && nx % stride as isize == 0
+                                && (ny / stride as isize) < out_h as isize
+                                && (nx / stride as isize) < out_w as isize
+                            {
+                                cover += 1;
+                            }
+                        }
+                    }
+                    let idx = (c * h + y) * w + x;
+                    let expect = im[idx] * cover as f32;
+                    prop_assert!((back[idx] - expect).abs() < 1e-3,
+                        "pixel ({c},{y},{x}): got {} want {}", back[idx], expect);
+                }
+            }
+        }
+    }
+
+    /// Column matrix rows are exactly the strided taps: reconstruct a conv
+    /// output via col and via direct convolution; they must agree.
+    #[test]
+    fn conv_via_im2col_matches_direct(
+        h in 3usize..8, w in 3usize..8,
+        kernel in 1usize..4,
+    ) {
+        prop_assume!(h >= kernel && w >= kernel);
+        let geom = ConvGeometry::square(kernel, 1, 0);
+        let im: Vec<f32> = (0..h * w).map(|i| (i % 9) as f32 - 4.0).collect();
+        let filt: Vec<f32> = (0..kernel * kernel).map(|i| (i % 3) as f32 - 1.0).collect();
+        let out_h = geom.out_h(h);
+        let out_w = geom.out_w(w);
+        let mut col = vec![0.0f32; kernel * kernel * out_h * out_w];
+        im2col(&im, 1, h, w, &geom, &mut col);
+        // GEMM: 1×(k*k) by (k*k)×(out) = conv output.
+        let mut out = vec![0.0f32; out_h * out_w];
+        sgemm(Transpose::No, Transpose::No, 1, out_h * out_w, kernel * kernel,
+              1.0, &filt, &col, 0.0, &mut out);
+        // Direct convolution.
+        for oy in 0..out_h {
+            for ox in 0..out_w {
+                let mut acc = 0.0f32;
+                for ky in 0..kernel {
+                    for kx in 0..kernel {
+                        acc += filt[ky * kernel + kx] * im[(oy + ky) * w + (ox + kx)];
+                    }
+                }
+                prop_assert!((out[oy * out_w + ox] - acc).abs() < 1e-3);
+            }
+        }
+    }
+}

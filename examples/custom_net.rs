@@ -1,0 +1,126 @@
+//! Network-agnosticism (paper §3.3.1): GLP4NN "does not rely on any
+//! particular data layout nor any specialized and highly optimized
+//! libraries for neural layers" — it works on whatever network you
+//! define, because it operates on kernel launches, not layer semantics.
+//!
+//! This example builds a network that appears nowhere in the paper — a
+//! small VGG-style stack with an inception-like split — straight from a
+//! `NetSpec`, trains it with and without GLP4NN, and shows the framework
+//! profiles and accelerates it with no network-specific code.
+//!
+//! ```sh
+//! cargo run --release --example custom_net
+//! ```
+
+use gpu_sim::DeviceProps;
+use nn::data::SyntheticDataset;
+use nn::net::{LayerKind, LayerSpec, NetSpec};
+use nn::{ExecCtx, Net, Solver, SolverConfig};
+use tensor::Blob;
+
+fn layer(name: &str, kind: LayerKind, bottoms: &[&str], tops: &[&str]) -> LayerSpec {
+    LayerSpec {
+        name: name.into(),
+        kind,
+        bottoms: bottoms.iter().map(|s| s.to_string()).collect(),
+        tops: tops.iter().map(|s| s.to_string()).collect(),
+    }
+}
+
+fn my_net(batch: usize) -> NetSpec {
+    use LayerKind::*;
+    NetSpec {
+        name: "MyCustomNet".into(),
+        inputs: vec![
+            ("data".into(), vec![batch, 3, 24, 24]),
+            ("label".into(), vec![batch]),
+        ],
+        layers: vec![
+            layer("stem", Convolution { num_output: 24, kernel: 3, stride: 1, pad: 1 }, &["data"], &["stem_o"]),
+            layer("stem_relu", Relu, &["stem_o"], &["stem_r"]),
+            // Fan out to two parallel branches via an explicit split
+            // (gradients from both branches accumulate), joined by concat
+            // (inception-style).
+            layer("fork", Split, &["stem_r"], &["fork_a", "fork_b"]),
+            layer("b1", Convolution { num_output: 16, kernel: 1, stride: 1, pad: 0 }, &["fork_a"], &["b1_o"]),
+            layer("b2", Convolution { num_output: 16, kernel: 5, stride: 1, pad: 2 }, &["fork_b"], &["b2_o"]),
+            layer("join", Concat, &["b1_o", "b2_o"], &["join_o"]),
+            layer("join_relu", Relu, &["join_o"], &["join_r"]),
+            layer("pool", Pooling { method: "max".into(), kernel: 2, stride: 2 }, &["join_r"], &["pool_o"]),
+            layer("fc", InnerProduct { num_output: 10 }, &["pool_o"], &["fc_o"]),
+            layer("loss", SoftmaxLoss, &["fc_o", "label"], &["loss_o"]),
+        ],
+        seed: 99,
+    }
+}
+
+fn main() {
+    let batch = 16;
+    let iters = 4;
+    let ds = SyntheticDataset::cifar_like(99); // any source with matching HxW crop
+    let run = |glp: bool| -> (Vec<f32>, Vec<u64>) {
+        let mut ctx = if glp {
+            ExecCtx::glp4nn(DeviceProps::titan_xp())
+        } else {
+            ExecCtx::naive(DeviceProps::titan_xp())
+        };
+        let net = Net::from_spec(&my_net(batch));
+        let mut solver = Solver::new(net, SolverConfig::default());
+        let mut losses = Vec::new();
+        let mut times = Vec::new();
+        for it in 0..iters {
+            // Crop the 32x32 synthetic CIFAR images to 24x24.
+            let mut full = Blob::nchw(batch, 3, 32, 32);
+            let mut labels = Blob::new(&[batch]);
+            ds.fill_batch(it * batch, &mut full, &mut labels);
+            {
+                let data = solver.net.blob_mut("data");
+                for n in 0..batch {
+                    for c in 0..3 {
+                        for y in 0..24 {
+                            for x in 0..24 {
+                                let v = full.data()[full.offset(n, c, y + 4, x + 4)];
+                                let o = data.offset(n, c, y, x);
+                                data.data_mut()[o] = v;
+                            }
+                        }
+                    }
+                }
+            }
+            solver
+                .net
+                .blob_mut("label")
+                .data_mut()
+                .copy_from_slice(labels.data());
+            ctx.take_timings();
+            losses.push(solver.step(&mut ctx));
+            times.push(ctx.take_timings().iter().map(|t| t.elapsed_ns).sum());
+        }
+        (losses, times)
+    };
+
+    println!("custom network (not in the paper), batch {batch}, simulated Titan XP\n");
+    let (nl, nt) = run(false);
+    let (gl, gt) = run(true);
+    println!(
+        "{:<6} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "iter", "loss", "loss(glp)", "naive (ms)", "glp4nn (ms)", "speedup"
+    );
+    for i in 0..iters {
+        println!(
+            "{:<6} {:>10.5} {:>10.5} {:>12.3} {:>12.3} {:>8.2}",
+            i,
+            nl[i],
+            gl[i],
+            nt[i] as f64 / 1e6,
+            gt[i] as f64 / 1e6,
+            nt[i] as f64 / gt[i] as f64
+        );
+    }
+    assert!(nl
+        .iter()
+        .zip(&gl)
+        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    println!("\nnetwork-agnostic: the framework never saw this architecture before,");
+    println!("yet profiles it, plans stream counts per conv layer, and keeps the math bitwise identical.");
+}

@@ -1,0 +1,60 @@
+//! Stream tuning: how many concurrent streams should a layer use?
+//!
+//! Sweeps fixed stream counts for a convolution layer on each simulated
+//! GPU (the manual experiment behind the paper's Figs. 2 and 4) and
+//! compares the best observed count with the one GLP4NN's analytical
+//! model picks automatically — the whole point of the framework: "it is
+//! hard for users to set the number of streams for various GPUs"
+//! (Observation 2).
+//!
+//! ```sh
+//! cargo run --release --example stream_tuning [net] [layer_index]
+//! ```
+
+use glp4nn_bench::{conv_forward_glp4nn_ns, conv_forward_ns, workloads_for};
+use gpu_sim::DeviceProps;
+use nn::DispatchMode;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let net = args.first().map(String::as_str).unwrap_or("CaffeNet");
+    let idx: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let workloads = workloads_for(net);
+    let w = workloads
+        .get(idx)
+        .unwrap_or_else(|| panic!("{net} has only {} conv layers", workloads.len()));
+
+    println!(
+        "layer {}/{}: Ci={} H/W={} Co={} F={} S={} P={}, batch {}\n",
+        w.net, w.layer, w.ci, w.hw, w.cfg.num_output, w.cfg.kernel, w.cfg.stride, w.cfg.pad, w.batch
+    );
+    let sweep = [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32];
+    for dev in DeviceProps::evaluation_set() {
+        let base = conv_forward_ns(dev.clone(), DispatchMode::Naive, w) as f64;
+        print!("{:<12}", dev.name);
+        let mut best = (1u32, 1.0f64);
+        for &s in &sweep {
+            let t = if s == 1 {
+                base
+            } else {
+                conv_forward_ns(dev.clone(), DispatchMode::FixedStreams(s), w) as f64
+            };
+            let speedup = base / t;
+            if speedup > best.1 {
+                best = (s, speedup);
+            }
+            print!(" {s}:{speedup:.2}");
+        }
+        let (_, _, model_streams) = conv_forward_glp4nn_ns(dev.clone(), w);
+        let model_t = {
+            // Steady-state GLP4NN time for the model's own choice.
+            let (_, steady, _) = conv_forward_glp4nn_ns(dev, w);
+            base / steady as f64
+        };
+        println!();
+        println!(
+            "{:<12} best observed: {} streams ({:.2}x) | model picked: {} streams ({:.2}x)",
+            "", best.0, best.1, model_streams, model_t
+        );
+    }
+}

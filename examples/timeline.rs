@@ -1,0 +1,42 @@
+//! Kernel timelines (paper Fig. 3): visualize how GLP4NN's concurrent
+//! streams overlap the per-sample kernel chains of a convolution layer.
+//!
+//! ```sh
+//! cargo run --release --example timeline -- [net] [layer_index] [samples]
+//! ```
+
+use glp4nn_bench::{run_conv_forward, workloads_for};
+use gpu_sim::{DeviceProps, Timeline};
+use nn::{DispatchMode, ExecCtx};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let net = args.first().map(String::as_str).unwrap_or("CaffeNet");
+    let idx: usize = args.get(1).and_then(|v| v.parse().ok()).unwrap_or(2);
+    let samples: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(8);
+
+    let mut w = workloads_for(net)[idx];
+    w.batch = samples;
+    println!(
+        "{} {} with {} samples on a simulated K40C\n(i = im2col, s = sgemm, g = gemmk/bias)\n",
+        w.net, w.layer, samples
+    );
+
+    for streams in [1u32, 2, 4, 8] {
+        let mode = if streams == 1 {
+            DispatchMode::Naive
+        } else {
+            DispatchMode::FixedStreams(streams)
+        };
+        let mut ctx = ExecCtx::with_mode(DeviceProps::k40c(), mode).timing_only();
+        let elapsed = run_conv_forward(&mut ctx, &w);
+        let tl = Timeline::new(ctx.device.trace());
+        println!(
+            "== {streams} stream(s): layer time {:.3} ms ==",
+            elapsed as f64 / 1e6
+        );
+        print!("{}", tl.render_ascii(110));
+        println!();
+    }
+    println!("CSV of the 4-stream run is available via Timeline::render_csv in the library API.");
+}

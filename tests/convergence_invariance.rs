@@ -1,0 +1,102 @@
+//! The paper's central correctness claim (§3.3.1): GLP4NN is
+//! **convergence-invariant** — it "neither changes the computation inside a
+//! kernel nor breaks kernel dependencies. Thus, no network parameters will
+//! be changed and the convergence rate will keep invariant between the
+//! original and GLP4NN-based implementation."
+//!
+//! These tests verify the claim end-to-end, and more strongly than the
+//! paper's empirical Fig. 11: training with GLP4NN produces **bitwise
+//! identical** losses and parameters to naive training.
+
+use gpu_sim::DeviceProps;
+use nn::data::SyntheticDataset;
+use nn::models;
+use nn::{ExecCtx, Net, Solver, SolverConfig};
+use tensor::Blob;
+
+fn train_losses(mut ctx: ExecCtx, iters: usize, batch: usize) -> (Vec<u32>, Vec<u32>) {
+    let net = Net::from_spec(&models::cifar10_quick(batch, 42));
+    let mut solver = Solver::new(net, SolverConfig::default());
+    let ds = SyntheticDataset::cifar_like(42);
+    let mut losses = Vec::new();
+    for it in 0..iters {
+        let mut data = std::mem::replace(solver.net.blob_mut("data"), Blob::empty());
+        let mut label = std::mem::replace(solver.net.blob_mut("label"), Blob::empty());
+        ds.fill_batch(it * batch, &mut data, &mut label);
+        *solver.net.blob_mut("data") = data;
+        *solver.net.blob_mut("label") = label;
+        losses.push(solver.step(&mut ctx).to_bits());
+    }
+    let params: Vec<u32> = solver
+        .net
+        .params_mut()
+        .iter()
+        .flat_map(|p| p.data().iter().map(|v| v.to_bits()))
+        .collect();
+    (losses, params)
+}
+
+#[test]
+fn glp4nn_training_is_bitwise_identical_to_naive() {
+    let batch = 8;
+    let iters = 5;
+    let (naive_losses, naive_params) =
+        train_losses(ExecCtx::naive(DeviceProps::p100()), iters, batch);
+    let (glp_losses, glp_params) =
+        train_losses(ExecCtx::glp4nn(DeviceProps::p100()), iters, batch);
+
+    assert_eq!(
+        naive_losses, glp_losses,
+        "per-iteration losses must be bitwise identical"
+    );
+    assert_eq!(
+        naive_params, glp_params,
+        "final parameters must be bitwise identical"
+    );
+}
+
+#[test]
+fn losses_decrease_during_training() {
+    let (losses, _) = train_losses(ExecCtx::naive(DeviceProps::p100()), 12, 16);
+    let first = f32::from_bits(losses[0]);
+    let last = f32::from_bits(*losses.last().unwrap());
+    assert!(
+        last < first,
+        "synthetic CIFAR training must make progress: {first} -> {last}"
+    );
+}
+
+#[test]
+fn different_devices_do_not_change_math() {
+    // Simulated hardware affects *time*, never *values*.
+    let (k40, _) = train_losses(ExecCtx::naive(DeviceProps::k40c()), 3, 8);
+    let (p100, _) = train_losses(ExecCtx::naive(DeviceProps::p100()), 3, 8);
+    let (xp, _) = train_losses(ExecCtx::glp4nn(DeviceProps::titan_xp()), 3, 8);
+    assert_eq!(k40, p100);
+    assert_eq!(k40, xp);
+}
+
+#[test]
+fn siamese_training_is_invariant_too() {
+    let run = |mut ctx: ExecCtx| -> Vec<u32> {
+        let net = Net::from_spec(&models::siamese(8, 7));
+        let mut solver = Solver::new(net, SolverConfig::default());
+        let ds = SyntheticDataset::mnist_like(7);
+        let mut losses = Vec::new();
+        for it in 0..3 {
+            let mut a = std::mem::replace(solver.net.blob_mut("data"), Blob::empty());
+            let mut b = std::mem::replace(solver.net.blob_mut("data_p"), Blob::empty());
+            let mut s = std::mem::replace(solver.net.blob_mut("sim"), Blob::empty());
+            ds.fill_pair_batch(it * 16, &mut a, &mut b, &mut s);
+            *solver.net.blob_mut("data") = a;
+            *solver.net.blob_mut("data_p") = b;
+            *solver.net.blob_mut("sim") = s;
+            losses.push(solver.step(&mut ctx).to_bits());
+        }
+        losses
+    };
+    assert_eq!(
+        run(ExecCtx::naive(DeviceProps::p100())),
+        run(ExecCtx::glp4nn(DeviceProps::p100()))
+    );
+}

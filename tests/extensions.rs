@@ -1,0 +1,208 @@
+//! Integration tests for the paper's §6 future-work features implemented
+//! in this reproduction: kernel fusion/reordering, dataflow dependency
+//! graphs, and data-parallel multi-GPU training.
+
+use glp4nn::{ExecMode, Glp4nn, KernelGraph, LayerKey, OptimConfig};
+use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
+use nn::data::SyntheticDataset;
+use nn::models;
+use nn::{DataParallelTrainer, ExecCtx, Net, SolverConfig};
+use nn::solver::MomentumKind;
+use tensor::Blob;
+
+fn small_kernel(name: &str, tag: u64) -> KernelDesc {
+    KernelDesc::new(
+        name,
+        LaunchConfig::new(Dim3::linear(6), Dim3::linear(128), 24, 0),
+        KernelCost::new(5.0e4, 2.0e4),
+    )
+    .with_tag(tag)
+}
+
+fn small_groups(n: u64) -> Vec<Vec<KernelDesc>> {
+    (0..n)
+        .map(|i| {
+            vec![
+                small_kernel("im2col", i),
+                small_kernel("sgemm", i),
+                small_kernel("gemmk", i),
+            ]
+        })
+        .collect()
+}
+
+#[test]
+fn fusion_reduces_launches_and_time_for_small_kernels() {
+    let run = |optim: OptimConfig| -> (u64, usize) {
+        let mut dev = Device::new(DeviceProps::k40c());
+        let mut glp = Glp4nn::with_optim(1, optim);
+        glp.register_device(0, dev.props());
+        let key = LayerKey::forward("net", "tiny");
+        glp.execute(&mut dev, 0, &key, small_groups(16)); // profile
+        let before = dev.trace().len();
+        let r = glp.execute(&mut dev, 0, &key, small_groups(16));
+        (r.elapsed_ns, dev.trace().len() - before)
+    };
+    let (base_ns, base_launches) = run(OptimConfig::default());
+    let (fused_ns, fused_launches) = run(OptimConfig {
+        fusion: true,
+        ..OptimConfig::default()
+    });
+    assert!(
+        fused_launches < base_launches,
+        "fusion must reduce launches: {fused_launches} vs {base_launches}"
+    );
+    assert!(
+        fused_ns < base_ns,
+        "launch-bound groups must get faster: {fused_ns} vs {base_ns}"
+    );
+}
+
+#[test]
+fn fusion_does_not_change_training_math() {
+    let train = |optim: OptimConfig| -> Vec<u32> {
+        let mut ctx = ExecCtx::glp4nn_with(DeviceProps::p100(), optim);
+        let net = Net::from_spec(&models::cifar10_quick(8, 21));
+        let mut solver = nn::Solver::new(net, SolverConfig::default());
+        let ds = SyntheticDataset::cifar_like(21);
+        (0..3)
+            .map(|it| {
+                let mut data = std::mem::replace(solver.net.blob_mut("data"), Blob::empty());
+                let mut label = std::mem::replace(solver.net.blob_mut("label"), Blob::empty());
+                ds.fill_batch(it * 8, &mut data, &mut label);
+                *solver.net.blob_mut("data") = data;
+                *solver.net.blob_mut("label") = label;
+                solver.step(&mut ctx).to_bits()
+            })
+            .collect()
+    };
+    assert_eq!(
+        train(OptimConfig::default()),
+        train(OptimConfig::all()),
+        "fusion/reordering only reschedule simulated kernels; math is unchanged"
+    );
+}
+
+#[test]
+fn graph_execution_profiles_then_accelerates() {
+    let mut dev = Device::new(DeviceProps::p100());
+    let mut glp = Glp4nn::new(1);
+    glp.register_device(0, dev.props());
+    let key = LayerKey::forward("net", "inception");
+
+    // An inception-like fan-out/fan-in DAG: input -> 4 branches -> concat.
+    let build = || {
+        let mut g = KernelGraph::new();
+        let stem = g.add(
+            KernelDesc::new(
+                "stem",
+                LaunchConfig::new(Dim3::linear(20), Dim3::linear(256), 32, 4096),
+                KernelCost::new(8.0e6, 5.0e5),
+            ),
+            &[],
+        );
+        let branches: Vec<usize> = (0..4)
+            .map(|b| {
+                let chain = g.add_chain(
+                    vec![
+                        KernelDesc::new(
+                            "reduce1x1",
+                            LaunchConfig::new(Dim3::linear(10), Dim3::linear(128), 32, 0),
+                            KernelCost::new(3.0e6, 2.0e5),
+                        )
+                        .with_tag(b),
+                        KernelDesc::new(
+                            "conv3x3",
+                            LaunchConfig::new(Dim3::linear(12), Dim3::linear(256), 64, 16384),
+                            KernelCost::new(2.0e7, 8.0e5),
+                        )
+                        .with_tag(b),
+                    ],
+                    &[stem],
+                );
+                *chain.last().unwrap()
+            })
+            .collect();
+        g.add(
+            KernelDesc::new(
+                "concat",
+                LaunchConfig::new(Dim3::linear(8), Dim3::linear(128), 16, 0),
+                KernelCost::new(1.0e5, 4.0e5),
+            ),
+            &branches,
+        );
+        g
+    };
+
+    let r1 = glp.execute_graph(&mut dev, 0, &key, &build());
+    assert_eq!(r1.mode, ExecMode::Profiling);
+    let r2 = glp.execute_graph(&mut dev, 0, &key, &build());
+    assert!(matches!(r2.mode, ExecMode::Concurrent { .. }));
+    assert!(
+        r2.elapsed_ns < r1.elapsed_ns,
+        "independent branches must overlap: {} vs {}",
+        r2.elapsed_ns,
+        r1.elapsed_ns
+    );
+
+    // Dependencies held: concat after every branch, branches after stem.
+    let trace = dev.trace();
+    let find = |name: &str, tag: u64| {
+        trace
+            .iter()
+            .rev()
+            .find(|t| t.name == name && t.tag == tag)
+            .unwrap()
+    };
+    let stem_end = find("stem", 0).end_ns;
+    let concat_start = find("concat", 0).start_ns;
+    for b in 0..4u64 {
+        let reduce = find("reduce1x1", b);
+        let conv = find("conv3x3", b);
+        assert!(reduce.start_ns >= stem_end, "branch {b} starts after stem");
+        assert!(conv.start_ns >= reduce.end_ns, "chain order in branch {b}");
+        assert!(concat_start >= conv.end_ns, "concat waits for branch {b}");
+    }
+}
+
+#[test]
+fn data_parallel_losses_independent_of_replica_count() {
+    let ds = SyntheticDataset::cifar_like(5);
+    let global = 16usize;
+    let run = |gpus: usize| -> Vec<f32> {
+        let per = global / gpus;
+        let spec = models::cifar10_quick(per, 3);
+        let mut dp = DataParallelTrainer::new(
+            &spec,
+            &vec![DeviceProps::p100(); gpus],
+            false,
+            SolverConfig {
+                base_lr: 0.01,
+                momentum: 0.9,
+                momentum_kind: MomentumKind::Classical,
+                weight_decay: 0.0,
+                policy: nn::LrPolicy::Fixed,
+            },
+        );
+        (0..3)
+            .map(|it| {
+                for r in 0..gpus {
+                    let net = dp.replica_net(r);
+                    let mut data = std::mem::replace(net.blob_mut("data"), Blob::empty());
+                    let mut label = std::mem::replace(net.blob_mut("label"), Blob::empty());
+                    ds.fill_batch(it * global + r * per, &mut data, &mut label);
+                    *net.blob_mut("data") = data;
+                    *net.blob_mut("label") = label;
+                }
+                dp.step().loss
+            })
+            .collect()
+    };
+    let one = run(1);
+    let two = run(2);
+    let four = run(4);
+    for i in 0..3 {
+        assert!((one[i] - two[i]).abs() < 2e-3, "1 vs 2 GPUs at iter {i}");
+        assert!((one[i] - four[i]).abs() < 2e-3, "1 vs 4 GPUs at iter {i}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Shape checks for the paper's headline results: concurrent kernel
+//! execution speeds up convolution layers (Figs. 2, 7), the effect
+//! saturates/plateaus as stream counts grow (Fig. 4), and very short
+//! layers may not benefit (the paper's CIFAR10-conv1 / Siamese-conv1
+//! observation, Fig. 9 discussion).
+
+use gpu_sim::DeviceProps;
+use nn::layers::conv::{ConvConfig, ConvLayer};
+use nn::layer::Layer;
+use nn::{DispatchMode, ExecCtx};
+use tensor::Blob;
+
+/// Forward one conv layer in timing-only mode; return simulated ns.
+fn time_conv(dev: DeviceProps, mode: DispatchMode, cfg: ConvConfig, batch: usize, ci: usize, hw: usize) -> u64 {
+    let mut ctx = ExecCtx::with_mode(dev, mode).timing_only();
+    let mut layer = ConvLayer::new("conv", cfg, 1);
+    let bottom = Blob::nchw(batch, ci, hw, hw);
+    let mut top = vec![Blob::empty()];
+    layer.reshape(&[&bottom], &mut top);
+    layer.forward(&mut ctx, &[&bottom], &mut top);
+    ctx.take_timings()[0].elapsed_ns
+}
+
+/// CaffeNet conv2 (a mid-sized layer that benefits in the paper).
+fn caffenet_conv2() -> (ConvConfig, usize, usize, usize) {
+    (
+        ConvConfig {
+            num_output: 256,
+            kernel: 5,
+            stride: 1,
+            pad: 2,
+        },
+        64, // reduced batch for test speed; per-sample kernels unchanged
+        96,
+        27,
+    )
+}
+
+#[test]
+fn multi_stream_speedup_exists_on_p100() {
+    let (cfg, n, ci, hw) = caffenet_conv2();
+    let t1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, cfg, n, ci, hw);
+    let t4 = time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(4), cfg, n, ci, hw);
+    let speedup = t1 as f64 / t4 as f64;
+    assert!(
+        speedup > 1.2,
+        "4 streams should clearly beat 1: speedup = {speedup:.2}"
+    );
+}
+
+#[test]
+fn speedup_saturates_with_many_streams() {
+    let (cfg, n, ci, hw) = caffenet_conv2();
+    let t1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, cfg, n, ci, hw) as f64;
+    let speedups: Vec<f64> = [2u32, 4, 8, 16, 32]
+        .iter()
+        .map(|&k| t1 / time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(k), cfg, n, ci, hw) as f64)
+        .collect();
+    // Monotone-ish rise then plateau: the gain from 16 -> 32 streams must
+    // be much smaller than from 1 -> 4.
+    let early_gain = speedups[1] - 1.0;
+    let late_gain = (speedups[4] - speedups[3]).abs();
+    assert!(
+        late_gain < early_gain,
+        "saturation expected: speedups = {speedups:?}"
+    );
+}
+
+#[test]
+fn speedup_varies_across_devices() {
+    // Observation 2: the benefit profile differs between K40C and P100.
+    // Compare the speedup curve over several stream counts on a layer
+    // whose grid underfills the 56-SM P100 but not the 15-SM K40C
+    // (CaffeNet conv3: 3x3 on 13x13).
+    let cfg = ConvConfig {
+        num_output: 384,
+        kernel: 3,
+        stride: 1,
+        pad: 1,
+    };
+    let curve = |dev: fn() -> DeviceProps| -> Vec<f64> {
+        let t1 = time_conv(dev(), DispatchMode::Naive, cfg, 64, 256, 13) as f64;
+        [2u32, 8, 16]
+            .iter()
+            .map(|&k| t1 / time_conv(dev(), DispatchMode::FixedStreams(k), cfg, 64, 256, 13) as f64)
+            .collect()
+    };
+    let k40 = curve(DeviceProps::k40c);
+    let p100 = curve(DeviceProps::p100);
+    let max_gap = k40
+        .iter()
+        .zip(&p100)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        max_gap > 0.05,
+        "device-dependent speedups expected: K40C {k40:?} vs P100 {p100:?}"
+    );
+}
+
+#[test]
+fn tiny_fast_layers_gain_little() {
+    // Siamese conv1: 1 input channel on 28x28 — kernels finish in ~the
+    // launch overhead, so extra streams buy little (paper Fig. 9).
+    let tiny = ConvConfig {
+        num_output: 20,
+        kernel: 5,
+        stride: 1,
+        pad: 0,
+    };
+    let t1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, tiny, 64, 1, 28) as f64;
+    let t8 = time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(8), tiny, 64, 1, 28) as f64;
+    let tiny_speedup = t1 / t8;
+
+    let (cfg, n, ci, hw) = caffenet_conv2();
+    let b1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, cfg, n, ci, hw) as f64;
+    let b8 = time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(8), cfg, n, ci, hw) as f64;
+    let big_speedup = b1 / b8;
+
+    assert!(
+        big_speedup > tiny_speedup,
+        "large layers must benefit more: tiny {tiny_speedup:.2} vs big {big_speedup:.2}"
+    );
+}
+
+#[test]
+fn speedups_bounded_by_reasonable_limits() {
+    // Speedups in the paper top out around 4-5x per layer; our simulator
+    // should not produce absurd values (> 32x would indicate a bug).
+    let (cfg, n, ci, hw) = caffenet_conv2();
+    for k in [2u32, 8, 32] {
+        let t1 = time_conv(DeviceProps::titan_xp(), DispatchMode::Naive, cfg, n, ci, hw) as f64;
+        let tk = time_conv(DeviceProps::titan_xp(), DispatchMode::FixedStreams(k), cfg, n, ci, hw) as f64;
+        let s = t1 / tk;
+        assert!(s > 0.3 && s < 32.0, "speedup {s:.2} out of plausible range");
+    }
+}

@@ -19,6 +19,7 @@
 //!   fig11    CIFAR10 convergence, GLP4NN vs naive  [--iters N]
 //!   ablation fusion/reordering (§6) and launch-overhead sensitivity
 //!   generations GLP4NN across Fermi→Volta device generations
+//!   serving  inference serving with dynamic batching  [--smoke]
 //!   all      everything above
 //! ```
 //!
@@ -26,6 +27,7 @@
 //! measured wall times of the profiler and MILP solver. See DESIGN.md and
 //! EXPERIMENTS.md.
 
+use glp4nn_bench::serving;
 use glp4nn_bench::*;
 use gpu_sim::{Arch, DeviceProps, Timeline};
 use nn::data::SyntheticDataset;
@@ -45,7 +47,12 @@ fn table1() {
     println!("== Table 1: Overview of GPU architecture features ==");
     println!(
         "{:<12} {:>12} {:>20} {:>22} {:>6} {:>12}",
-        "Architecture", "CUDA Streams", "Dynamic Parallelism", "Max Concurrent Kernels", "UVM", "Tensor Cores"
+        "Architecture",
+        "CUDA Streams",
+        "Dynamic Parallelism",
+        "Max Concurrent Kernels",
+        "UVM",
+        "Tensor Cores"
     );
     for arch in Arch::ALL {
         let f = arch.features();
@@ -66,7 +73,14 @@ fn table3() {
     println!("== Table 3: Hardware profile ==");
     println!(
         "{:<12} {:>10} {:>12} {:>12} {:>10} {:>12} {:>14} {:>8}",
-        "GPU", "Generation", "Core Count", "Clock (GHz)", "Mem (GB)", "BW (GB/s)", "Smem/SM (KB)", "C"
+        "GPU",
+        "Generation",
+        "Core Count",
+        "Clock (GHz)",
+        "Mem (GB)",
+        "BW (GB/s)",
+        "Smem/SM (KB)",
+        "C"
     );
     for d in devices() {
         println!(
@@ -175,7 +189,10 @@ fn fig3() {
 
 fn fig4() {
     println!("== Fig. 4: Best observed number of concurrent streams (CaffeNet) ==");
-    println!("{:<8} {:>8} {:>8} {:>8}", "layer", "K40C", "P100", "TitanXP");
+    println!(
+        "{:<8} {:>8} {:>8} {:>8}",
+        "layer", "K40C", "P100", "TitanXP"
+    );
     let sweep = [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32];
     for w in workloads_for("CaffeNet") {
         print!("{:<8}", w.layer);
@@ -200,7 +217,10 @@ fn fig4() {
 
 fn fig7() {
     println!("== Fig. 7: Speedup of GLP4NN-Caffe over naive Caffe per training iteration ==");
-    println!("{:<10} {:>10} {:>10} {:>10}", "net", "K40C", "P100", "TitanXP");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10}",
+        "net", "K40C", "P100", "TitanXP"
+    );
     for net in ["CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"] {
         print!("{:<10}", net);
         for dev in devices() {
@@ -229,11 +249,17 @@ fn fig8() {
 
 fn fig9() {
     println!("== Fig. 9: Per-layer forward time — CIFAR10@TitanXP and Siamese@P100 ==");
-    for (net, dev) in [("CIFAR10", DeviceProps::titan_xp()), ("Siamese", DeviceProps::p100())] {
+    for (net, dev) in [
+        ("CIFAR10", DeviceProps::titan_xp()),
+        ("Siamese", DeviceProps::p100()),
+    ] {
         println!("-- {net} on {} --", dev.name);
         let naive = forward_layer_times(dev.clone(), net, false);
         let glp = forward_layer_times(dev, net, true);
-        println!("{:<12} {:>12} {:>14} {:>9}", "layer", "Caffe (ms)", "GLP4NN (ms)", "speedup");
+        println!(
+            "{:<12} {:>12} {:>14} {:>9}",
+            "layer", "Caffe (ms)", "GLP4NN (ms)", "speedup"
+        );
         for ((l, tn), (_, tg)) in naive.iter().zip(&glp) {
             println!(
                 "{:<12} {:>12.3} {:>14.3} {:>9.2}",
@@ -246,7 +272,10 @@ fn fig9() {
     }
 }
 
-fn profile_net(dev: DeviceProps, net_name: &str) -> (glp4nn::CostBook, glp4nn::framework::Glp4nn, u64) {
+fn profile_net(
+    dev: DeviceProps,
+    net_name: &str,
+) -> (glp4nn::CostBook, glp4nn::framework::Glp4nn, u64) {
     let spec = net_spec(net_name, 1);
     let mut ctx = ExecCtx::glp4nn(dev).timing_only();
     let mut net = Net::from_spec(&spec);
@@ -372,7 +401,11 @@ fn fig11(iters: usize) {
     for i in (0..iters).step_by(step) {
         let test_str = match test_iter.peek() {
             Some(&&(ti, tv)) if ti <= i => {
-                while test_iter.peek().map(|&&(ti, _)| ti + eval_every <= i).unwrap_or(false) {
+                while test_iter
+                    .peek()
+                    .map(|&&(ti, _)| ti + eval_every <= i)
+                    .unwrap_or(false)
+                {
                     test_iter.next();
                 }
                 format!("{tv:.6}")
@@ -385,7 +418,11 @@ fn fig11(iters: usize) {
             naive[i],
             glp[i],
             test_str,
-            if naive[i].to_bits() == glp[i].to_bits() { "yes" } else { "NO" }
+            if naive[i].to_bits() == glp[i].to_bits() {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     let identical = naive
@@ -499,7 +536,9 @@ fn ablation() {
 
 fn generations() {
     println!("== Generation sweep: GLP4NN across Fermi → Volta (extension of Table 1) ==");
-    println!("(CIFAR10 per-iteration speedup and model-chosen streams for conv2, per architecture)");
+    println!(
+        "(CIFAR10 per-iteration speedup and model-chosen streams for conv2, per architecture)"
+    );
     println!(
         "{:<20} {:<8} {:>4} {:>9} {:>14}",
         "GPU", "arch", "C", "speedup", "conv2 streams"
@@ -521,6 +560,15 @@ fn generations() {
     println!("lower launch overhead; the framework adapts without reconfiguration.");
 }
 
+fn serving(smoke: bool) {
+    let rows = serving::serving_sweep(smoke);
+    serving::print_serving_table(&rows, smoke);
+    assert!(
+        serving::glp4nn_dominates(&rows),
+        "GLP4NN throughput fell below naive at some operating point"
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -530,6 +578,7 @@ fn main() {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(40usize);
+    let smoke = args.iter().any(|a| a == "--smoke");
 
     match cmd {
         "table1" => table1(),
@@ -547,6 +596,7 @@ fn main() {
         "fig11" => fig11(iters),
         "ablation" => ablation(),
         "generations" => generations(),
+        "serving" => serving(smoke),
         "all" => {
             table1();
             println!();
@@ -577,10 +627,12 @@ fn main() {
             ablation();
             println!();
             generations();
+            println!();
+            serving(smoke);
         }
         _ => {
             eprintln!(
-                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|all> [--iters N]"
+                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|all> [--iters N] [--smoke]"
             );
             std::process::exit(2);
         }

@@ -5,6 +5,8 @@
 //! simulated device ([`gpu_sim`]), while `T_p`/`T_a` overheads are real
 //! measured wall times of our profiler and MILP solver.
 
+pub mod serving;
+
 use glp4nn::Phase;
 use gpu_sim::DeviceProps;
 use nn::layer::Layer;
@@ -89,7 +91,9 @@ pub fn conv_forward_glp4nn_ns(dev: DeviceProps, w: &ConvWorkload) -> (u64, u64, 
     let profile_ns = ctx.take_timings()[0].elapsed_ns;
     layer.forward(&mut ctx, &[&bottom], &mut top);
     let steady_ns = ctx.take_timings()[0].elapsed_ns;
-    let key = glp4nn::LayerKey::forward(w.net, w.layer);
+    // Conv dispatch emits one kernel group per sample, so the plan is
+    // cached under chunks == batch.
+    let key = glp4nn::LayerKey::forward(w.net, w.layer).with_chunks(w.batch);
     let streams = ctx
         .glp
         .as_ref()
@@ -100,19 +104,22 @@ pub fn conv_forward_glp4nn_ns(dev: DeviceProps, w: &ConvWorkload) -> (u64, u64, 
 }
 
 /// Build the spec for a named network at its Table-5 batch size.
+///
+/// # Panics
+/// Panics on an unknown name; use [`nn::models::spec_by_name`] for a
+/// `Result`.
 pub fn net_spec(net: &str, seed: u64) -> nn::NetSpec {
-    net_spec_with_batch(net, models::default_batch(net), seed)
+    let batch = models::default_batch(net).unwrap_or_else(|e| panic!("{e}"));
+    net_spec_with_batch(net, batch, seed)
 }
 
 /// Build the spec for a named network at an explicit batch size.
+///
+/// # Panics
+/// Panics on an unknown name; use [`nn::models::spec_by_name`] for a
+/// `Result`.
 pub fn net_spec_with_batch(net: &str, batch: usize, seed: u64) -> nn::NetSpec {
-    match net {
-        "CIFAR10" => models::cifar10_quick(batch, seed),
-        "Siamese" => models::siamese(batch, seed),
-        "CaffeNet" => models::caffenet(batch, seed),
-        "GoogLeNet" => models::googlenet_subset(batch, seed),
-        other => panic!("unknown network {other}"),
-    }
+    models::spec_by_name(net, batch, seed).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// One full training iteration (forward + backward), timing-only.

@@ -1,0 +1,167 @@
+//! The `reproduce serving` experiment: inference serving with dynamic
+//! batching, swept over arrival rate x batch policy backend x device.
+//!
+//! Each operating point runs the same seeded Poisson arrival trace
+//! through the same dynamic batcher under three dispatch backends —
+//! naive, a fixed 8-stream pool, and the full GLP4NN runtime — and
+//! reports throughput plus p50/p95/p99 end-to-end latency from the
+//! simulated clock. Everything is deterministic: two invocations print
+//! byte-identical tables.
+
+use gpu_sim::DeviceProps;
+use nn::DispatchMode;
+use serve::{run_serving, BatchPolicy, ServeConfig, ServingReport};
+
+/// The three serving backends compared, in print order.
+pub const SERVING_MODES: [(&str, DispatchMode); 3] = [
+    ("naive", DispatchMode::Naive),
+    ("8str", DispatchMode::FixedStreams(8)),
+    ("glp4nn", DispatchMode::Glp4nn),
+];
+
+/// One operating point's results: every backend at one device x rate.
+#[derive(Debug, Clone)]
+pub struct ServingRow {
+    /// Device name.
+    pub device: String,
+    /// Mean arrival rate (requests per simulated second).
+    pub rate_rps: f64,
+    /// `(mode name, report)` per backend, in [`SERVING_MODES`] order.
+    pub reports: Vec<(&'static str, ServingReport)>,
+}
+
+/// Arrival rates swept (requests per simulated second).
+pub fn serving_rates(smoke: bool) -> Vec<f64> {
+    if smoke {
+        vec![2000.0]
+    } else {
+        vec![500.0, 2000.0, 8000.0]
+    }
+}
+
+/// The serving configuration at one operating point.
+pub fn serving_config(
+    device: DeviceProps,
+    mode: DispatchMode,
+    rate_rps: f64,
+    smoke: bool,
+) -> ServeConfig {
+    ServeConfig {
+        device,
+        mode,
+        model: "CIFAR10".to_string(),
+        rate_rps,
+        num_requests: if smoke { 40 } else { 300 },
+        policy: BatchPolicy::new(8, 2_000_000),
+        queue_capacity: 1024,
+        seed: 42,
+    }
+}
+
+/// Run the full sweep: every device in the paper's evaluation set, every
+/// arrival rate, every backend.
+pub fn serving_sweep(smoke: bool) -> Vec<ServingRow> {
+    let mut rows = Vec::new();
+    for dev in DeviceProps::evaluation_set() {
+        for &rate in &serving_rates(smoke) {
+            let reports = SERVING_MODES
+                .iter()
+                .map(|&(name, mode)| {
+                    let cfg = serving_config(dev.clone(), mode, rate, smoke);
+                    let report = run_serving(&cfg).unwrap_or_else(|e| panic!("{e}"));
+                    (name, report)
+                })
+                .collect();
+            rows.push(ServingRow {
+                device: dev.name.clone(),
+                rate_rps: rate,
+                reports,
+            });
+        }
+    }
+    rows
+}
+
+/// Whether GLP4NN matched or beat naive throughput at every operating
+/// point (the profile-once-then-concurrent payoff under serving load).
+pub fn glp4nn_dominates(rows: &[ServingRow]) -> bool {
+    rows.iter().all(|row| {
+        let tput = |name: &str| {
+            row.reports
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, r)| r.throughput_rps)
+                .unwrap_or(0.0)
+        };
+        tput("glp4nn") >= tput("naive")
+    })
+}
+
+/// Print the sweep as a table, plus the dominance verification line.
+pub fn print_serving_table(rows: &[ServingRow], smoke: bool) {
+    println!("== Serving: dynamic batching over the GLP4NN runtime ==");
+    println!(
+        "(CIFAR10 inference; Poisson arrivals; batch policy: size 8 or 2 ms delay; {} requests/point{})",
+        if smoke { 40 } else { 300 },
+        if smoke { "; smoke" } else { "" }
+    );
+    println!(
+        "{:<10} {:>9} {:<8} {:>11} {:>9} {:>9} {:>9} {:>7} {:>6} {:>5}",
+        "device",
+        "rate(r/s)",
+        "mode",
+        "tput(r/s)",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "batch",
+        "#batch",
+        "shed"
+    );
+    let ms = |ns: u64| ns as f64 / 1e6;
+    for row in rows {
+        for (name, r) in &row.reports {
+            println!(
+                "{:<10} {:>9.0} {:<8} {:>11.1} {:>9.3} {:>9.3} {:>9.3} {:>7.2} {:>6} {:>5}",
+                row.device,
+                row.rate_rps,
+                name,
+                r.throughput_rps,
+                ms(r.latency.p50_ns),
+                ms(r.latency.p95_ns),
+                ms(r.latency.p99_ns),
+                r.mean_batch,
+                r.batches,
+                r.shed
+            );
+        }
+    }
+    println!(
+        "GLP4NN throughput >= naive at all {} operating points: {}",
+        rows.len(),
+        if glp4nn_dominates(rows) { "yes" } else { "NO" }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_covers_all_devices_and_modes() {
+        let rows = serving_sweep(true);
+        assert_eq!(rows.len(), 3, "3 devices x 1 smoke rate");
+        for row in &rows {
+            assert_eq!(row.reports.len(), 3);
+            for (_, r) in &row.reports {
+                assert_eq!(r.completed + r.shed, 40);
+            }
+        }
+        assert!(glp4nn_dominates(&rows), "GLP4NN must not lose to naive");
+    }
+
+    #[test]
+    fn full_sweep_has_three_rates() {
+        assert_eq!(serving_rates(false).len(), 3);
+    }
+}

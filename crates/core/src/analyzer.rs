@@ -176,13 +176,7 @@ pub fn analyze_profiles(props: &DeviceProps, profiles: &[KernelProfile]) -> Conc
         let cap = per_kernel_cap(props, p);
         // Objective (Eqs. 1-3): active threads per SM contributed by each
         // concurrent instance of this class.
-        let v = m.add_var(
-            &p.name,
-            VarKind::Integer,
-            0.0,
-            cap as f64,
-            tau * beta,
-        );
+        let v = m.add_var(&p.name, VarKind::Integer, 0.0, cap as f64, tau * beta);
         vars.push(v);
         smem_terms.push((v, p.smem_per_block as f64 * beta));
         thread_terms.push((v, tau * beta));
@@ -290,9 +284,12 @@ mod tests {
     #[test]
     fn smem_constrains_concurrency() {
         let props = DeviceProps::k40c(); // 48 KiB/SM
-        // Each instance puts one 24-KiB block per SM -> at most 2 fit.
+                                         // Each instance puts one 24-KiB block per SM -> at most 2 fit.
         let blocks = props.num_sms as u64;
-        let plan = analyze_profiles(&props, &[profile("smem_heavy", blocks, 64, 24 * 1024, 5000)]);
+        let plan = analyze_profiles(
+            &props,
+            &[profile("smem_heavy", blocks, 64, 24 * 1024, 5000)],
+        );
         assert!(plan.per_kernel[0].1 <= 2, "plan = {plan:?}");
     }
 

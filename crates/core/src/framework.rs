@@ -24,6 +24,14 @@ pub enum Phase {
 
 /// Identity of a layer execution site, keying the concurrency maintainer's
 /// plan cache.
+///
+/// The key is `net x layer x phase x chunks`: `chunks` is the number of
+/// kernel groups the layer dispatches (the batch size under per-sample
+/// batch-level parallelism). Keeping it in the key lets a serving engine
+/// feed batches of varying size through one framework instance — each
+/// batch shape is profiled once and then reuses its own cached plan, since
+/// the analytical model's `C_out` depends on how many groups compete for
+/// the device.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LayerKey {
     /// Network name.
@@ -32,6 +40,8 @@ pub struct LayerKey {
     pub layer: String,
     /// Forward or backward pass.
     pub phase: Phase,
+    /// Number of kernel groups dispatched (0 = shape-agnostic site).
+    pub chunks: usize,
 }
 
 impl LayerKey {
@@ -41,6 +51,7 @@ impl LayerKey {
             net: net.to_string(),
             layer: layer.to_string(),
             phase: Phase::Forward,
+            chunks: 0,
         }
     }
 
@@ -50,7 +61,14 @@ impl LayerKey {
             net: net.to_string(),
             layer: layer.to_string(),
             phase: Phase::Backward,
+            chunks: 0,
         }
+    }
+
+    /// Same site, keyed to a specific chunk (group) count.
+    pub fn with_chunks(mut self, chunks: usize) -> Self {
+        self.chunks = chunks;
+        self
     }
 
     /// String form used by the plan cache.
@@ -59,7 +77,7 @@ impl LayerKey {
             Phase::Forward => "fwd",
             Phase::Backward => "bwd",
         };
-        format!("{}/{}/{}", self.net, self.layer, phase)
+        format!("{}/{}/{}/c{}", self.net, self.layer, phase, self.chunks)
     }
 }
 
@@ -270,6 +288,10 @@ mod tests {
         assert_ne!(
             LayerKey::forward("n1", "l").cache_key(),
             LayerKey::forward("n2", "l").cache_key()
+        );
+        assert_ne!(
+            LayerKey::forward("n", "l").with_chunks(8).cache_key(),
+            LayerKey::forward("n", "l").with_chunks(16).cache_key()
         );
     }
 

@@ -233,7 +233,10 @@ mod tests {
         let (bs, be) = dev.kernel_span(ids[b]).unwrap();
         let (cs, ce) = dev.kernel_span(ids[c]).unwrap();
         let overlap = be.min(ce).saturating_sub(bs.max(cs));
-        assert!(overlap > 0, "siblings must overlap: b {bs}-{be}, c {cs}-{ce}");
+        assert!(
+            overlap > 0,
+            "siblings must overlap: b {bs}-{be}, c {cs}-{ce}"
+        );
     }
 
     #[test]
@@ -241,7 +244,10 @@ mod tests {
         let mut dev = Device::new(DeviceProps::p100());
         let p = pool(&mut dev, 4);
         let mut g = KernelGraph::new();
-        let ids = g.add_chain(vec![kernel("x", 1e6), kernel("y", 1e6), kernel("z", 1e6)], &[]);
+        let ids = g.add_chain(
+            vec![kernel("x", 1e6), kernel("y", 1e6), kernel("z", 1e6)],
+            &[],
+        );
         assert_eq!(ids, vec![0, 1, 2]);
         let kids = g.launch(&mut dev, &p);
         dev.run();

@@ -85,9 +85,9 @@ pub mod streams;
 pub mod tracker;
 
 pub use analyzer::{ConcurrencyPlan, KernelAnalyzer, KernelProfile};
-pub use graph::KernelGraph;
-pub use optim::OptimConfig;
 pub use cost::CostBook;
 pub use framework::{ExecMode, ExecReport, Glp4nn, LayerKey, Phase};
+pub use graph::KernelGraph;
+pub use optim::OptimConfig;
 pub use streams::StreamManager;
 pub use tracker::ResourceTracker;

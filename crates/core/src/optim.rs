@@ -80,17 +80,14 @@ pub fn fuse_pair(a: &KernelDesc, b: &KernelDesc) -> KernelDesc {
     };
     // Per-block work scales down by the larger grid: total work is the sum
     // of both kernels' totals.
-    let total_flops =
-        a.cost.flops_per_block * a.launch.num_blocks() as f64 + b.cost.flops_per_block * b.launch.num_blocks() as f64;
+    let total_flops = a.cost.flops_per_block * a.launch.num_blocks() as f64
+        + b.cost.flops_per_block * b.launch.num_blocks() as f64;
     let total_bytes = a.cost.dram_bytes_per_block * a.launch.num_blocks() as f64
         + b.cost.dram_bytes_per_block * b.launch.num_blocks() as f64;
     KernelDesc {
         name: format!("{}+{}", a.name, b.name),
         launch,
-        cost: KernelCost::new(
-            total_flops / blocks as f64,
-            total_bytes / blocks as f64,
-        ),
+        cost: KernelCost::new(total_flops / blocks as f64, total_bytes / blocks as f64),
         tag: a.tag,
     }
 }
@@ -110,9 +107,7 @@ pub fn fuse_group(
     for k in group {
         let d = est(&k);
         match out.last_mut() {
-            Some((prev, Some(pd)))
-                if d.is_some() && *pd + d.unwrap() <= limit =>
-            {
+            Some((prev, Some(pd))) if d.is_some() && *pd + d.unwrap() <= limit => {
                 let merged = fuse_pair(prev, &k);
                 let nd = *pd + d.unwrap();
                 *prev = merged;
@@ -133,7 +128,12 @@ pub fn estimate_group_ns(
 ) -> u64 {
     group
         .iter()
-        .map(|k| durations.get(&k.name).copied().unwrap_or(launch_overhead_ns))
+        .map(|k| {
+            durations
+                .get(&k.name)
+                .copied()
+                .unwrap_or(launch_overhead_ns)
+        })
         .sum()
 }
 
@@ -194,7 +194,11 @@ mod tests {
     #[test]
     fn small_chain_collapses_to_one_launch() {
         let d = durations(&[("im2col", 1_000), ("sgemm", 1_500), ("gemmk", 800)]);
-        let group = vec![kernel("im2col", 4, 1.0), kernel("sgemm", 4, 1.0), kernel("gemmk", 4, 1.0)];
+        let group = vec![
+            kernel("im2col", 4, 1.0),
+            kernel("sgemm", 4, 1.0),
+            kernel("gemmk", 4, 1.0),
+        ];
         let fused = fuse_group(group, &d, 4_000, 2.0); // limit 8 µs
         assert_eq!(fused.len(), 1);
         assert_eq!(fused[0].name, "im2col+sgemm+gemmk");
@@ -203,7 +207,11 @@ mod tests {
     #[test]
     fn large_kernels_are_not_fused() {
         let d = durations(&[("im2col", 1_000), ("sgemm", 500_000), ("gemmk", 800)]);
-        let group = vec![kernel("im2col", 4, 1.0), kernel("sgemm", 4, 1.0), kernel("gemmk", 4, 1.0)];
+        let group = vec![
+            kernel("im2col", 4, 1.0),
+            kernel("sgemm", 4, 1.0),
+            kernel("gemmk", 4, 1.0),
+        ];
         let fused = fuse_group(group, &d, 4_000, 2.0);
         // im2col cannot merge into the huge sgemm; gemmk cannot merge into
         // it either.

@@ -178,8 +178,22 @@ mod tests {
         let (mut dev, tracker, mut analyzer, streams) = setup();
         let mut sched = RuntimeScheduler::new(0);
         let key = LayerKey::forward("net", "conv1");
-        let r1 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(16));
-        let r2 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(16));
+        let r1 = sched.execute(
+            &mut dev,
+            &tracker,
+            &mut analyzer,
+            &streams,
+            &key,
+            groups(16),
+        );
+        let r2 = sched.execute(
+            &mut dev,
+            &tracker,
+            &mut analyzer,
+            &streams,
+            &key,
+            groups(16),
+        );
         assert!(
             r2.elapsed_ns < r1.elapsed_ns,
             "concurrent {} vs profiled/serial {}",

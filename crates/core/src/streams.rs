@@ -85,6 +85,50 @@ mod tests {
     }
 
     #[test]
+    fn pool_never_exceeds_largest_request() {
+        // A varying-C_out request sequence (as a serving batcher produces
+        // when batch shapes vary) must leave the pool sized at the largest
+        // C_out seen, never at the running total.
+        let mut dev = Device::new(DeviceProps::titan_xp());
+        let mgr = StreamManager::new(1);
+        let requests = [4usize, 2, 7, 1, 7, 3, 6];
+        let mut largest = 0;
+        for n in requests {
+            let pool = mgr.pool(&mut dev, 0, n);
+            assert_eq!(pool.len(), n);
+            largest = largest.max(n);
+            assert_eq!(mgr.pool_size(0), largest);
+        }
+        assert_eq!(mgr.pool_size(0), 7);
+        assert_eq!(dev.num_streams(), 8, "default stream + 7 pool streams");
+    }
+
+    #[test]
+    fn interleaved_multi_gpu_requests_grow_pools_independently() {
+        let mut d0 = Device::new(DeviceProps::k40c());
+        let mut d1 = Device::new(DeviceProps::p100());
+        let mgr = StreamManager::new(2);
+        // Interleave growth across the two devices; each pool must follow
+        // only its own request history.
+        for (gpu, n) in [(0usize, 2usize), (1, 3), (0, 4), (1, 1), (0, 3), (1, 5)] {
+            if gpu == 0 {
+                mgr.pool(&mut d0, 0, n);
+            } else {
+                mgr.pool(&mut d1, 1, n);
+            }
+        }
+        assert_eq!(mgr.pool_size(0), 4);
+        assert_eq!(mgr.pool_size(1), 5);
+        // Stream IDs on each device stay dense and device-local.
+        assert_eq!(d0.num_streams(), 5);
+        assert_eq!(d1.num_streams(), 6);
+        let p0 = mgr.pool(&mut d0, 0, 4);
+        let p1 = mgr.pool(&mut d1, 1, 5);
+        assert!(p0.iter().all(|s| !s.is_default()));
+        assert!(p1.iter().all(|s| !s.is_default()));
+    }
+
+    #[test]
     fn per_gpu_pools_are_independent() {
         let mut d0 = Device::new(DeviceProps::k40c());
         let mut d1 = Device::new(DeviceProps::p100());

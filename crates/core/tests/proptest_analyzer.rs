@@ -8,10 +8,10 @@ use proptest::prelude::*;
 
 fn arb_profile(i: usize) -> impl Strategy<Value = KernelProfile> {
     (
-        1u64..2000,            // grid blocks
-        1u32..9,               // warps per block (threads = w * 32)
-        0u32..3,               // smem selector
-        1_000u64..10_000_000,  // duration ns
+        1u64..2000,           // grid blocks
+        1u32..9,              // warps per block (threads = w * 32)
+        0u32..3,              // smem selector
+        1_000u64..10_000_000, // duration ns
     )
         .prop_map(move |(grid, warps, smem_sel, dur)| KernelProfile {
             name: format!("k{i}"),

@@ -47,7 +47,7 @@ pub mod overhead;
 pub mod subscriber;
 
 pub use activity::{ActivityKind, ActivityRecord};
-pub use callback::{ApiCallRecord, CallbackSubscriber};
 pub use buffer::{ActivityBuffer, BufferPool, DEFAULT_BUFFER_BYTES, DEFAULT_POOL_BUFFERS};
+pub use callback::{ApiCallRecord, CallbackSubscriber};
 pub use overhead::ProfilerOverhead;
 pub use subscriber::Profiler;

@@ -95,11 +95,7 @@ mod tests {
             o.account_record(&rec("k"));
         }
         assert_eq!(o.mem_tt_bytes, 160);
-        let per_k = ActivityRecord {
-            ..rec("k")
-        }
-        .encoded_len()
-            - ActivityRecord::TIMESTAMP_BYTES;
+        let per_k = ActivityRecord { ..rec("k") }.encoded_len() - ActivityRecord::TIMESTAMP_BYTES;
         assert_eq!(o.mem_k_bytes, 10 * per_k);
     }
 

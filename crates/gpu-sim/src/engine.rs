@@ -237,7 +237,10 @@ impl Device {
         }
         self.streams[stream.0 as usize]
             .queue
-            .push_back(Command::Launch(id, self.kernels[id.0 as usize].desc.clone()));
+            .push_back(Command::Launch(
+                id,
+                self.kernels[id.0 as usize].desc.clone(),
+            ));
         id
     }
 
@@ -328,6 +331,25 @@ impl Device {
     /// `cudaDeviceSynchronize`. Returns the completion time.
     pub fn synchronize(&mut self) -> SimTime {
         self.run()
+    }
+
+    /// Fast-forward an idle device's clock to `t` (no-op if `t` is in the
+    /// past). A serving event loop uses this to jump to the next request
+    /// arrival when the device has drained; the host dispatcher clock
+    /// follows so later launches pay their overhead relative to `t`.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if called with work still in flight — the
+    /// clock may only move between [`run`](Device::run) episodes.
+    pub fn advance_to(&mut self, t: SimTime) {
+        debug_assert!(
+            self.heap.is_empty() && self.streams.iter().all(|s| s.is_idle()),
+            "advance_to on a busy device"
+        );
+        if t > self.clock {
+            self.clock = t;
+        }
+        self.host_clock = self.host_clock.max(self.clock);
     }
 
     // ----- internals -------------------------------------------------
@@ -497,13 +519,13 @@ impl Device {
                 let mut progress = true;
                 while placed_total < remaining && progress {
                     progress = false;
-                    for smi in 0..num_sms {
+                    for (smi, placed) in per_sm.iter_mut().enumerate().take(num_sms) {
                         if placed_total >= remaining {
                             break;
                         }
                         if self.sms[smi].fits(&self.props, &fp) {
                             self.sms[smi].update(&self.props, now, &fp, true);
-                            per_sm[smi] += 1;
+                            *placed += 1;
                             placed_total += 1;
                             progress = true;
                         }
@@ -617,7 +639,10 @@ mod tests {
         let (a_s, a_e) = dev.kernel_span(a).unwrap();
         let (b_s, b_e) = dev.kernel_span(b).unwrap();
         let overlap = a_e.min(b_e).saturating_sub(a_s.max(b_s));
-        assert!(overlap > 0, "concurrent streams must overlap: {a_s}-{a_e} vs {b_s}-{b_e}");
+        assert!(
+            overlap > 0,
+            "concurrent streams must overlap: {a_s}-{a_e} vs {b_s}-{b_e}"
+        );
     }
 
     #[test]
@@ -721,6 +746,24 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn advance_to_fast_forwards_idle_clock() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s = dev.create_stream();
+        dev.launch(s, kernel("a", 8, 128, 1.0e6));
+        let t1 = dev.run();
+        dev.advance_to(t1 + 500_000);
+        assert_eq!(dev.now(), t1 + 500_000);
+        // Moving backwards is a no-op.
+        dev.advance_to(t1);
+        assert_eq!(dev.now(), t1 + 500_000);
+        // Work after the jump starts no earlier than the new present.
+        let b = dev.launch(s, kernel("b", 8, 128, 1.0e6));
+        dev.run();
+        let (b_s, _) = dev.kernel_span(b).unwrap();
+        assert!(b_s >= t1 + 500_000);
     }
 
     #[test]

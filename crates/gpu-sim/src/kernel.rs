@@ -122,8 +122,7 @@ impl KernelCost {
     /// by the engine's residency-aware burst timing.
     pub fn nominal_block_time_ns(&self, dev: &DeviceProps, threads_per_block: u32) -> SimTime {
         let warps = threads_per_block.div_ceil(dev.warp_size);
-        let rate_c = dev.sm_peak_flops() * warps as f64
-            / warps.max(dev.warps_for_peak) as f64;
+        let rate_c = dev.sm_peak_flops() * warps as f64 / warps.max(dev.warps_for_peak) as f64;
         let t_compute = if self.flops_per_block > 0.0 {
             self.flops_per_block / rate_c
         } else {

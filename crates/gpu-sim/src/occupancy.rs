@@ -137,7 +137,7 @@ mod tests {
     #[test]
     fn register_limited() {
         let dev = DeviceProps::p100(); // 64K regs
-        // 256 threads * 64 regs = 16384 regs/block -> 4 blocks.
+                                       // 256 threads * 64 regs = 16384 regs/block -> 4 blocks.
         let r = occupancy(&dev, &cfg(10_000, 256, 64, 0));
         assert_eq!(r.blocks_per_sm, 4);
         assert_eq!(r.limiter, Limiter::Registers);
@@ -146,8 +146,8 @@ mod tests {
     #[test]
     fn grid_limited_small_kernel() {
         let dev = DeviceProps::p100(); // 56 SMs
-        // 18-block grid (the paper's im2col example on K40C has grid [18,1,1]):
-        // fewer blocks than SMs -> at most 1 per SM, grid-limited.
+                                       // 18-block grid (the paper's im2col example on K40C has grid [18,1,1]):
+                                       // fewer blocks than SMs -> at most 1 per SM, grid-limited.
         let r = occupancy(&dev, &cfg(18, 128, 16, 0));
         assert_eq!(r.blocks_per_sm, 1);
         assert_eq!(r.limiter, Limiter::GridSize);

@@ -48,13 +48,7 @@ pub fn solve_with_limit(
     let mut work = model.clone();
     let maximize = matches!(model.sense(), Sense::Maximize);
 
-    branch_node(
-        &mut work,
-        &mut incumbent,
-        &mut stats,
-        node_limit,
-        maximize,
-    )?;
+    branch_node(&mut work, &mut incumbent, &mut stats, node_limit, maximize)?;
 
     match incumbent {
         Some(mut sol) => {
@@ -112,7 +106,8 @@ fn branch_node(
         .iter()
         .enumerate()
         .find(|(j, v)| {
-            v.kind == VarKind::Integer && (relax.values[*j] - relax.values[*j].round()).abs() > INT_EPS
+            v.kind == VarKind::Integer
+                && (relax.values[*j] - relax.values[*j].round()).abs() > INT_EPS
         })
         .map(|(j, _)| j);
 

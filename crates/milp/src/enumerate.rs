@@ -119,20 +119,14 @@ mod tests {
     fn rejects_continuous() {
         let mut m = Model::new(Sense::Maximize);
         m.add_var("x", VarKind::Continuous, 0.0, 4.0, 1.0);
-        assert!(matches!(
-            solve_exhaustive(&m),
-            Err(SolveError::Invalid(_))
-        ));
+        assert!(matches!(solve_exhaustive(&m), Err(SolveError::Invalid(_))));
     }
 
     #[test]
     fn rejects_unbounded() {
         let mut m = Model::new(Sense::Maximize);
         m.add_var("x", VarKind::Integer, 0.0, f64::INFINITY, 1.0);
-        assert!(matches!(
-            solve_exhaustive(&m),
-            Err(SolveError::Invalid(_))
-        ));
+        assert!(matches!(solve_exhaustive(&m), Err(SolveError::Invalid(_))));
     }
 
     #[test]

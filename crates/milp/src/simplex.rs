@@ -266,6 +266,9 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], row: usize, col: usize) {
         if i != row {
             let f = t[i][col];
             if f.abs() > EPS {
+                // Indexes two rows of `t` at once; an iterator would need a
+                // split borrow or a pivot-row clone per elimination.
+                #[allow(clippy::needless_range_loop)]
                 for k in 0..width {
                     let delta = f * t[row][k];
                     t[i][k] -= delta;

@@ -13,10 +13,7 @@ use proptest::prelude::*;
 fn arb_small_ip() -> impl Strategy<Value = Model> {
     (
         prop::collection::vec((0u8..=4, -5i8..=5), 1..=4),
-        prop::collection::vec(
-            (prop::collection::vec(-3i8..=3, 4), 0i8..=20),
-            0..=3,
-        ),
+        prop::collection::vec((prop::collection::vec(-3i8..=3, 4), 0i8..=20), 0..=3),
         prop::bool::ANY,
     )
         .prop_map(|(vars, rows, maximize)| {

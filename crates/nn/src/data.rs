@@ -126,8 +126,8 @@ impl SyntheticDataset {
             self.sample_into(start + s, &mut d[s * stride..(s + 1) * stride]);
         }
         let l = labels.data_mut();
-        for s in 0..n {
-            l[s] = self.label(start + s) as f32;
+        for (s, v) in l.iter_mut().enumerate().take(n) {
+            *v = self.label(start + s) as f32;
         }
     }
 
@@ -215,9 +215,8 @@ mod tests {
         d.sample_into(0, &mut x0);
         d.sample_into(same, &mut xs);
         d.sample_into(diff, &mut xd);
-        let corr = |a: &[f32], b: &[f32]| -> f32 {
-            a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>()
-        };
+        let corr =
+            |a: &[f32], b: &[f32]| -> f32 { a.iter().zip(b).map(|(x, y)| x * y).sum::<f32>() };
         assert!(
             corr(&x0, &xs) > corr(&x0, &xd),
             "same-class correlation must dominate"
@@ -250,7 +249,10 @@ mod tests {
         d.fill_pair_batch(0, &mut a, &mut b, &mut sim);
         // Even slots want similar pairs; probing usually finds one.
         let n_similar = sim.data().iter().filter(|&&v| v == 1.0).count();
-        assert!(n_similar >= 2, "expected some similar pairs, got {n_similar}");
+        assert!(
+            n_similar >= 2,
+            "expected some similar pairs, got {n_similar}"
+        );
         assert!(n_similar < 6, "expected some dissimilar pairs");
     }
 }

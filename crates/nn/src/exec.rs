@@ -126,10 +126,15 @@ impl ExecCtx {
                 self.run_on_streams(&pool, groups)
             }
             DispatchMode::Glp4nn => {
+                // Plans are keyed per layer x phase x group count: a
+                // serving batcher that varies the batch size profiles each
+                // shape once, then every later batch of that shape reuses
+                // its cached plan.
                 let key = LayerKey {
                     net: self.net_name.clone(),
                     layer: layer.to_string(),
                     phase,
+                    chunks: groups.len(),
                 };
                 let glp = self
                     .glp

@@ -64,7 +64,8 @@ impl Layer for ConcatLayer {
             let off = self.channel_offsets[bi];
             for nn in 0..n {
                 let src = &b.data()[nn * c * spatial..(nn + 1) * c * spatial];
-                let dst = &mut t[(nn * total_c + off) * spatial..(nn * total_c + off + c) * spatial];
+                let dst =
+                    &mut t[(nn * total_c + off) * spatial..(nn * total_c + off + c) * spatial];
                 dst.copy_from_slice(src);
             }
         }
@@ -88,7 +89,8 @@ impl Layer for ConcatLayer {
             let off = self.channel_offsets[bi];
             let bd = b.diff_mut();
             for nn in 0..n {
-                let src = &t.diff()[(nn * total_c + off) * spatial..(nn * total_c + off + c) * spatial];
+                let src =
+                    &t.diff()[(nn * total_c + off) * spatial..(nn * total_c + off + c) * spatial];
                 bd[nn * c * spatial..(nn + 1) * c * spatial].copy_from_slice(src);
             }
         }
@@ -108,7 +110,10 @@ mod tests {
     fn concatenates_channels() {
         let mut l = ConcatLayer::new("cat");
         let a = Blob::from_data(&[2, 1, 1, 2], vec![1.0, 2.0, 3.0, 4.0]);
-        let b = Blob::from_data(&[2, 2, 1, 2], vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let b = Blob::from_data(
+            &[2, 2, 1, 2],
+            vec![5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0],
+        );
         let mut top = vec![Blob::empty()];
         l.reshape(&[&a, &b], &mut top);
         assert_eq!(top[0].shape(), &[2, 3, 1, 2]);
@@ -130,7 +135,7 @@ mod tests {
         let mut c = ctx();
         l.forward(&mut c, &[&a, &b], &mut top);
         top[0].diff_mut().copy_from_slice(&[3.0, 7.0]);
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![a, b];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         assert_eq!(bottoms[0].diff(), &[3.0]);

@@ -95,8 +95,7 @@ impl Layer for ContrastiveLossLayer {
         let d = bottom[0].count() / n;
         let labels: Vec<f32> = bottom[2].data().to_vec();
         let alpha = scale / n as f32;
-        for i in 0..n {
-            let sim = labels[i];
+        for (i, &sim) in labels.iter().enumerate().take(n) {
             let row = &self.diff[i * d..(i + 1) * d];
             let dist = self.dist[i];
             // d(loss_i)/d(a) rows.
@@ -175,7 +174,7 @@ mod tests {
         // dist = 0.2, margin term = 0.8² / 2 = 0.32.
         assert!((top[0].data()[0] - 0.32).abs() < 1e-5);
         top[0].diff_mut()[0] = 1.0;
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![a, b, y];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         // Gradient pushes a away from b (negative direction since a > b).
@@ -194,14 +193,21 @@ mod tests {
         let mut c = ctx();
         l.forward(&mut c, &[&a, &b, &y], &mut top);
         top[0].diff_mut()[0] = 1.0;
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![std::mem::replace(&mut a, Blob::empty()), b, y];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         let analytic = bottoms[0].diff().to_vec();
 
         let eps = 1e-3f32;
+        // Perturbs element `i` in place, then compares against `analytic[i]`.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..6 {
-            let eval = |l: &mut ContrastiveLossLayer, c: &mut ExecCtx, a: &Blob, b: &Blob, y: &Blob| -> f32 {
+            let eval = |l: &mut ContrastiveLossLayer,
+                        c: &mut ExecCtx,
+                        a: &Blob,
+                        b: &Blob,
+                        y: &Blob|
+             -> f32 {
                 let mut t = vec![Blob::empty()];
                 l.reshape(&[a, b, y], &mut t);
                 l.forward(c, &[a, b, y], &mut t);

@@ -379,11 +379,7 @@ mod tests {
         ExecCtx::naive(DeviceProps::p100())
     }
 
-    fn forward_once(
-        layer: &mut ConvLayer,
-        ctx: &mut ExecCtx,
-        bottom: &Blob,
-    ) -> Blob {
+    fn forward_once(layer: &mut ConvLayer, ctx: &mut ExecCtx, bottom: &Blob) -> Blob {
         let mut top = vec![Blob::empty()];
         layer.reshape(&[bottom], &mut top);
         layer.forward(ctx, &[bottom], &mut top);
@@ -451,12 +447,7 @@ mod tests {
         forward_once(&mut l, &mut ctx, &bottom);
         // 5 samples × (im2col, sgemm, gemmk).
         assert_eq!(ctx.device.trace().len(), 15);
-        let names: Vec<_> = ctx
-            .device
-            .trace()
-            .iter()
-            .map(|t| t.name.as_str())
-            .collect();
+        let names: Vec<_> = ctx.device.trace().iter().map(|t| t.name.as_str()).collect();
         assert!(names.contains(&"im2col"));
         assert!(names.contains(&"sgemm"));
         assert!(names.contains(&"gemmk"));
@@ -483,7 +474,7 @@ mod tests {
 
         // Loss = sum(top); dL/dtop = 1.
         top[0].diff_mut().iter_mut().for_each(|v| *v = 1.0);
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![std::mem::replace(&mut bottom, Blob::empty())];
         l.backward(&mut ctx, &[&tops[0]], &mut bottoms);
         let analytic_w = l.weight.diff().to_vec();
@@ -553,7 +544,7 @@ mod tests {
 
         // ... and the gradients still pass a finite-difference check.
         top[0].diff_mut().iter_mut().for_each(|v| *v = 1.0);
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![bottom];
         l.backward(&mut ctx, &[&tops[0]], &mut bottoms);
         assert!(

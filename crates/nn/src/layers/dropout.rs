@@ -75,8 +75,12 @@ impl Layer for DropoutLayer {
         self.mask
             .extend((0..b.count()).map(|_| rng.gen::<f32>() >= self.ratio));
         let t = top[0].data_mut();
-        for i in 0..b.count() {
-            t[i] = if self.mask[i] { b.data()[i] * scale } else { 0.0 };
+        for (i, v) in t.iter_mut().enumerate().take(b.count()) {
+            *v = if self.mask[i] {
+                b.data()[i] * scale
+            } else {
+                0.0
+            };
         }
     }
 
@@ -99,8 +103,12 @@ impl Layer for DropoutLayer {
             return;
         }
         let scale = 1.0 / (1.0 - self.ratio);
-        for i in 0..d.len() {
-            d[i] = if self.mask[i] { top[0].diff()[i] * scale } else { 0.0 };
+        for (i, v) in d.iter_mut().enumerate() {
+            *v = if self.mask[i] {
+                top[0].diff()[i] * scale
+            } else {
+                0.0
+            };
         }
     }
 }
@@ -125,7 +133,10 @@ mod tests {
         let zeros = top[0].data().iter().filter(|&&v| v == 0.0).count();
         assert!((4_000..6_000).contains(&zeros), "zeros = {zeros}");
         // Survivors scaled by 2.
-        assert!(top[0].data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!(top[0]
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
     }
 
     #[test]
@@ -167,11 +178,15 @@ mod tests {
         l.forward(&mut c, &[&bottom], &mut top);
         top[0].diff_mut().iter_mut().for_each(|v| *v = 1.0);
         let fwd = top[0].data().to_vec();
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![bottom];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
-        for i in 0..128 {
-            assert_eq!(fwd[i] == 0.0, bottoms[0].diff()[i] == 0.0, "mask mismatch at {i}");
+        for (i, f) in fwd.iter().enumerate().take(128) {
+            assert_eq!(
+                *f == 0.0,
+                bottoms[0].diff()[i] == 0.0,
+                "mask mismatch at {i}"
+            );
         }
     }
 }

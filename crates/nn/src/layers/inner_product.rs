@@ -187,7 +187,7 @@ mod tests {
         let mut c = ctx();
         l.forward(&mut c, &[&bottom], &mut top);
         top[0].diff_mut().iter_mut().for_each(|v| *v = 1.0);
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![std::mem::replace(&mut bottom, Blob::empty())];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         let dw = l.weight.diff().to_vec();
@@ -231,7 +231,7 @@ mod tests {
         let mut c = ctx();
         l.forward(&mut c, &[&bottom], &mut top);
         top[0].diff_mut().copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![bottom];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         assert_eq!(l.bias.diff(), &[4.0, 6.0]);

@@ -179,7 +179,7 @@ mod tests {
     #[test]
     fn elemwise_covers_all_elements() {
         let k = elemwise_kernel("relu", 1000, 1.0);
-        assert_eq!(k.launch.grid.x * k.launch.block.x >= 1000, true);
+        assert!(k.launch.grid.x * k.launch.block.x >= 1000);
     }
 
     #[test]

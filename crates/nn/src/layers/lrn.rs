@@ -179,12 +179,14 @@ mod tests {
         let mut c = ctx();
         l.forward(&mut c, &[&bottom], &mut top);
         top[0].diff_mut().iter_mut().for_each(|v| *v = 1.0);
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![std::mem::replace(&mut bottom, Blob::empty())];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         let analytic = bottoms[0].diff().to_vec();
 
         let eps = 1e-3f32;
+        // Perturbs element `i` in place, then compares against `analytic[i]`.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..8 {
             let orig = bottoms[0].data()[i];
             let eval = |l: &mut LrnLayer, c: &mut ExecCtx, b: &Blob| -> f32 {

@@ -81,9 +81,7 @@ impl Layer for PoolingLayer {
             // independently too, so it can use the same per-sample group
             // dispatch as convolutions.
             let groups: Vec<_> = (0..n as u64)
-                .map(|i| {
-                    vec![kernels::pool_kernel("pool", c * oh * ow, self.kernel).with_tag(i)]
-                })
+                .map(|i| vec![kernels::pool_kernel("pool", c * oh * ow, self.kernel).with_tag(i)])
                 .collect();
             ctx.dispatch_groups(&self.name, Phase::Forward, groups);
         } else {
@@ -178,8 +176,8 @@ impl Layer for PoolingLayer {
                                 let w0 = x * self.stride;
                                 let h1 = (h0 + self.kernel).min(ih);
                                 let w1 = (w0 + self.kernel).min(iw);
-                                let g = tdiff[out_base + y * ow + x]
-                                    / ((h1 - h0) * (w1 - w0)) as f32;
+                                let g =
+                                    tdiff[out_base + y * ow + x] / ((h1 - h0) * (w1 - w0)) as f32;
                                 for hh in h0..h1 {
                                     for ww in w0..w1 {
                                         bd[in_base + hh * iw + ww] += g;
@@ -224,16 +222,13 @@ mod tests {
     #[test]
     fn max_pool_backward_routes_to_argmax() {
         let mut l = PoolingLayer::new("pool1", PoolMethod::Max, 2, 2);
-        let bottom = Blob::from_data(
-            &[1, 1, 2, 2],
-            vec![1.0, 5.0, 2.0, 3.0],
-        );
+        let bottom = Blob::from_data(&[1, 1, 2, 2], vec![1.0, 5.0, 2.0, 3.0]);
         let mut top = vec![Blob::empty()];
         l.reshape(&[&bottom], &mut top);
         let mut c = ctx();
         l.forward(&mut c, &[&bottom], &mut top);
         top[0].diff_mut()[0] = 7.0;
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![bottom];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         assert_eq!(bottoms[0].diff(), &[0.0, 7.0, 0.0, 0.0]);
@@ -249,7 +244,7 @@ mod tests {
         l.forward(&mut c, &[&bottom], &mut top);
         assert_eq!(top[0].data(), &[3.0]);
         top[0].diff_mut()[0] = 4.0;
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![bottom];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         assert_eq!(bottoms[0].diff(), &[1.0, 1.0, 1.0, 1.0]);
@@ -278,7 +273,7 @@ mod tests {
         assert_eq!(c.device.trace().len(), 6);
         // Second run goes concurrent via the analyzer's plan.
         l.forward(&mut c, &[&bottom], &mut top);
-        let key = glp4nn::LayerKey::forward("test", "p");
+        let key = glp4nn::LayerKey::forward("test", "p").with_chunks(6);
         assert!(c.glp.as_ref().unwrap().plan_for(0, &key).is_some());
         // Math identical to the whole-batch path.
         let mut l2 = PoolingLayer::new("p", PoolMethod::Max, 2, 2);

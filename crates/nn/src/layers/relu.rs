@@ -4,7 +4,7 @@ use crate::exec::ExecCtx;
 use crate::layer::Layer;
 use crate::layers::kernels;
 use glp4nn::Phase;
-use tensor::math::{relu_backward, relu};
+use tensor::math::{relu, relu_backward};
 use tensor::Blob;
 
 /// Rectified linear unit, `top = max(bottom, 0)`.
@@ -97,7 +97,7 @@ mod tests {
         let mut ctx = ExecCtx::naive(DeviceProps::p100());
         l.forward(&mut ctx, &[&bottom], &mut top);
         top[0].diff_mut().copy_from_slice(&[10.0, 10.0, 10.0]);
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![bottom];
         l.backward(&mut ctx, &[&tops[0]], &mut bottoms);
         assert_eq!(bottoms[0].diff(), &[0.0, 10.0, 10.0]);

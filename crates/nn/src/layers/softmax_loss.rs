@@ -103,7 +103,12 @@ mod tests {
         ExecCtx::naive(DeviceProps::p100())
     }
 
-    fn setup(scores: Vec<f32>, labels: Vec<f32>, n: usize, c: usize) -> (SoftmaxLossLayer, Blob, Blob, Vec<Blob>) {
+    fn setup(
+        scores: Vec<f32>,
+        labels: Vec<f32>,
+        n: usize,
+        c: usize,
+    ) -> (SoftmaxLossLayer, Blob, Blob, Vec<Blob>) {
         let l = SoftmaxLossLayer::new("loss");
         let s = Blob::from_data(&[n, c], scores);
         let lb = Blob::from_data(&[n], labels);
@@ -135,7 +140,7 @@ mod tests {
         let mut c = ctx();
         l.forward(&mut c, &[&s, &lb], &mut top);
         top[0].diff_mut()[0] = 1.0;
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![s, lb];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         let d = bottoms[0].diff();
@@ -145,22 +150,20 @@ mod tests {
 
     #[test]
     fn gradient_check_numeric() {
-        let (mut l, mut s, lb, mut top) = setup(
-            vec![0.3, -0.2, 0.7, 0.1, 0.5, -0.4],
-            vec![2.0, 0.0],
-            2,
-            3,
-        );
+        let (mut l, mut s, lb, mut top) =
+            setup(vec![0.3, -0.2, 0.7, 0.1, 0.5, -0.4], vec![2.0, 0.0], 2, 3);
         l.reshape(&[&s, &lb], &mut top);
         let mut c = ctx();
         l.forward(&mut c, &[&s, &lb], &mut top);
         top[0].diff_mut()[0] = 1.0;
-        let tops = vec![top.pop().unwrap()];
+        let tops = [top.pop().unwrap()];
         let mut bottoms = vec![std::mem::replace(&mut s, Blob::empty()), lb];
         l.backward(&mut c, &[&tops[0]], &mut bottoms);
         let analytic = bottoms[0].diff().to_vec();
 
         let eps = 1e-3f32;
+        // Perturbs element `i` in place, then compares against `analytic[i]`.
+        #[allow(clippy::needless_range_loop)]
         for i in 0..6 {
             let orig = bottoms[0].data()[i];
             let eval = |l: &mut SoftmaxLossLayer, c: &mut ExecCtx, s: &Blob, lb: &Blob| -> f32 {

@@ -235,8 +235,21 @@ pub fn googlenet_subset(batch: usize, seed: u64) -> NetSpec {
     }
 }
 
+/// One Table 5 row: `(net, layer, N, C_i, H/W, C_o, F, S, P)`.
+pub type Table5Row = (
+    &'static str,
+    &'static str,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+);
+
 /// Table 5 rows: `(net, layer, N, C_i, H/W, C_o, F, S, P)`.
-pub fn table5_rows() -> Vec<(&'static str, &'static str, usize, usize, usize, usize, usize, usize, usize)> {
+pub fn table5_rows() -> Vec<Table5Row> {
     vec![
         ("CIFAR10", "conv1", 100, 3, 32, 32, 5, 1, 2),
         ("CIFAR10", "conv2", 100, 32, 16, 32, 5, 1, 2),
@@ -259,14 +272,53 @@ pub fn table5_rows() -> Vec<(&'static str, &'static str, usize, usize, usize, us
     ]
 }
 
-/// Default batch sizes per network (Table 5's `N` column).
-pub fn default_batch(net: &str) -> usize {
+/// Networks resolvable by name through [`spec_by_name`] /
+/// [`crate::Net::by_name`].
+pub const MODEL_NAMES: [&str; 4] = ["CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"];
+
+/// A model name that [`spec_by_name`] does not recognize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownModelError {
+    /// The name that failed to resolve.
+    pub requested: String,
+}
+
+impl std::fmt::Display for UnknownModelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unknown network {:?}; valid names: {}",
+            self.requested,
+            MODEL_NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownModelError {}
+
+/// Build a named evaluation network's spec at an explicit batch size.
+pub fn spec_by_name(net: &str, batch: usize, seed: u64) -> Result<NetSpec, UnknownModelError> {
     match net {
-        "CIFAR10" => 100,
-        "Siamese" => 64,
-        "CaffeNet" => 256,
-        "GoogLeNet" => 32,
-        other => panic!("unknown network {other}"),
+        "CIFAR10" => Ok(cifar10_quick(batch, seed)),
+        "Siamese" => Ok(siamese(batch, seed)),
+        "CaffeNet" => Ok(caffenet(batch, seed)),
+        "GoogLeNet" => Ok(googlenet_subset(batch, seed)),
+        other => Err(UnknownModelError {
+            requested: other.to_string(),
+        }),
+    }
+}
+
+/// Default batch sizes per network (Table 5's `N` column).
+pub fn default_batch(net: &str) -> Result<usize, UnknownModelError> {
+    match net {
+        "CIFAR10" => Ok(100),
+        "Siamese" => Ok(64),
+        "CaffeNet" => Ok(256),
+        "GoogLeNet" => Ok(32),
+        other => Err(UnknownModelError {
+            requested: other.to_string(),
+        }),
     }
 }
 
@@ -330,7 +382,14 @@ mod tests {
         let rows = table5_rows();
         assert_eq!(rows.len(), 18);
         assert_eq!(rows.iter().filter(|r| r.0 == "GoogLeNet").count(), 6);
-        assert_eq!(default_batch("CaffeNet"), 256);
+        assert_eq!(default_batch("CaffeNet"), Ok(256));
+        let err = default_batch("AlexNet").unwrap_err();
+        assert!(
+            err.to_string().contains("CIFAR10"),
+            "error lists valid names: {err}"
+        );
+        assert!(spec_by_name("nope", 4, 1).is_err());
+        assert_eq!(spec_by_name("CIFAR10", 4, 1).unwrap(), cifar10_quick(4, 1));
     }
 
     #[test]
@@ -358,6 +417,9 @@ mod tests {
             last = loss;
             assert!(loss.is_finite());
         }
-        assert!(last < first * 1.5, "training must not diverge: {first} -> {last}");
+        assert!(
+            last < first * 1.5,
+            "training must not diverge: {first} -> {last}"
+        );
     }
 }

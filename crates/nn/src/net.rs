@@ -91,6 +91,40 @@ pub struct NetSpec {
     pub seed: u64,
 }
 
+impl NetSpec {
+    /// The inference-serving variant of this network: trailing loss and
+    /// accuracy layers are stripped, leaving the last scoring layer's top
+    /// as the network output.
+    ///
+    /// Only *trailing* layers are removed, so every surviving layer keeps
+    /// its position in `layers` — and therefore its derived parameter
+    /// seed — making inference outputs bitwise-identical to the same
+    /// layers inside the training net.
+    pub fn inference(&self) -> NetSpec {
+        let mut spec = self.clone();
+        while let Some(last) = spec.layers.last() {
+            match last.kind {
+                LayerKind::SoftmaxLoss
+                | LayerKind::Accuracy
+                | LayerKind::ContrastiveLoss { .. } => {
+                    spec.layers.pop();
+                }
+                _ => break,
+            }
+        }
+        spec
+    }
+
+    /// Name of the network's final output blob (the last layer's first
+    /// top), if any layer exists.
+    pub fn final_top(&self) -> Option<&str> {
+        self.layers
+            .last()
+            .and_then(|l| l.tops.first())
+            .map(String::as_str)
+    }
+}
+
 /// An instantiated, runnable network.
 pub struct Net {
     /// Network name.
@@ -219,6 +253,18 @@ impl Net {
         }
     }
 
+    /// Build one of the paper's evaluation networks by name (see
+    /// [`crate::models::MODEL_NAMES`]).
+    pub fn by_name(
+        net: &str,
+        batch: usize,
+        seed: u64,
+    ) -> Result<Net, crate::models::UnknownModelError> {
+        Ok(Net::from_spec(&crate::models::spec_by_name(
+            net, batch, seed,
+        )?))
+    }
+
     /// Mutable access to a blob by name (set inputs before forward).
     pub fn blob_mut(&mut self, name: &str) -> &mut Blob {
         let i = *self
@@ -273,6 +319,16 @@ impl Net {
             }
         }
         loss
+    }
+
+    /// Inference-only forward: switches every layer to inference
+    /// behaviour and runs the forward pass without accumulating a loss or
+    /// touching any diff/solver state. Read outputs by blob name
+    /// afterwards. The net stays in inference mode until
+    /// [`set_train`](Self::set_train)`(true)` is called.
+    pub fn forward_inference(&mut self, ctx: &mut ExecCtx) {
+        self.set_train(false);
+        let _ = self.forward(ctx);
     }
 
     /// Run the backward pass (forward must have run first).
@@ -504,13 +560,68 @@ mod tests {
 
     #[test]
     fn set_train_toggles_dropout() {
-        use crate::layers::DropoutLayer;
         use crate::layer::Layer as _;
+        use crate::layers::DropoutLayer;
         let mut d = DropoutLayer::new("drop", 0.5, 1);
         d.set_train(false);
         assert!(!d.train);
         d.set_train(true);
         assert!(d.train);
+    }
+
+    #[test]
+    fn inference_spec_strips_trailing_loss_layers() {
+        let spec = tiny_spec();
+        let inf = spec.inference();
+        assert_eq!(inf.layers.len(), 3);
+        assert_eq!(inf.final_top(), Some("ip1_out"));
+        // Surviving layers are untouched, so per-layer seeds are stable.
+        assert_eq!(&inf.layers[..], &spec.layers[..3]);
+    }
+
+    #[test]
+    fn inference_forward_is_bitwise_identical_to_training_forward() {
+        // The served path (stripped spec + forward_inference) must produce
+        // exactly the bits the training net computes for the same scoring
+        // layers — the serving analogue of the paper's
+        // convergence-invariance claim.
+        let spec = crate::models::cifar10_quick(8, 77);
+        let fill = |net: &mut Net| {
+            let n = net.blob("data").count();
+            let data: Vec<f32> = (0..n).map(|i| ((i % 251) as f32 - 125.0) * 0.01).collect();
+            net.blob_mut("data").data_mut().copy_from_slice(&data);
+        };
+
+        let mut train_net = Net::from_spec(&spec);
+        fill(&mut train_net);
+        train_net
+            .blob_mut("label")
+            .data_mut()
+            .iter_mut()
+            .enumerate()
+            .for_each(|(i, v)| *v = (i % 10) as f32);
+        let mut ctx = ExecCtx::naive(DeviceProps::p100());
+        train_net.forward(&mut ctx);
+
+        let mut infer_net = Net::from_spec(&spec.inference());
+        fill(&mut infer_net);
+        infer_net.forward_inference(&mut ctx);
+
+        let scores = spec.inference();
+        let out = scores.final_top().unwrap();
+        let a = train_net.blob(out).data();
+        let b = infer_net.blob(out).data();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn by_name_rejects_unknown_networks() {
+        assert!(Net::by_name("CIFAR10", 4, 1).is_ok());
+        let err = Net::by_name("ResNet", 4, 1).err().unwrap();
+        assert!(err.to_string().contains("valid names"));
     }
 
     #[test]

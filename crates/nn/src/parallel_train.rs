@@ -117,12 +117,7 @@ impl DataParallelTrainer {
             // borrow checker, then fold into replica 0.
             let mut others: Vec<Vec<Vec<f32>>> = Vec::with_capacity(r_count - 1);
             for (net, _) in self.replicas.iter_mut().skip(1) {
-                others.push(
-                    net.params_mut()
-                        .iter()
-                        .map(|p| p.diff().to_vec())
-                        .collect(),
-                );
+                others.push(net.params_mut().iter().map(|p| p.diff().to_vec()).collect());
             }
             let mut master = self.replicas[0].0.params_mut();
             param_bytes = master.iter().map(|p| p.count() * 4).sum();

@@ -167,10 +167,7 @@ mod tests {
     fn tiny_net() -> Net {
         Net::from_spec(&NetSpec {
             name: "tiny".into(),
-            inputs: vec![
-                ("data".into(), vec![8, 4]),
-                ("label".into(), vec![8]),
-            ],
+            inputs: vec![("data".into(), vec![8, 4]), ("label".into(), vec![8])],
             layers: vec![
                 LayerSpec {
                     name: "ip".into(),

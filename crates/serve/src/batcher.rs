@@ -1,0 +1,107 @@
+//! The dynamic batching policy.
+
+use crate::queue::BoundedQueue;
+use gpu_sim::SimTime;
+
+/// When to close a batch and dispatch it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Dispatch as soon as this many requests are waiting.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once the oldest waiting request has
+    /// queued this long (ns).
+    pub max_delay_ns: SimTime,
+}
+
+impl BatchPolicy {
+    /// A size-and-delay policy.
+    ///
+    /// # Panics
+    /// Panics if `max_batch` is zero.
+    pub fn new(max_batch: usize, max_delay_ns: SimTime) -> Self {
+        assert!(max_batch > 0, "max_batch must be positive");
+        BatchPolicy {
+            max_batch,
+            max_delay_ns,
+        }
+    }
+
+    /// Decide what to do at simulated time `now` given the current queue.
+    pub fn decide(&self, now: SimTime, queue: &BoundedQueue) -> BatchDecision {
+        let Some(head) = queue.head() else {
+            return BatchDecision::Idle;
+        };
+        if queue.len() >= self.max_batch {
+            return BatchDecision::Fire(self.max_batch);
+        }
+        let deadline = head.arrival_ns + self.max_delay_ns;
+        if now >= deadline {
+            BatchDecision::Fire(queue.len())
+        } else {
+            BatchDecision::WaitUntil(deadline)
+        }
+    }
+}
+
+/// Outcome of a batching decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchDecision {
+    /// Dispatch a batch of this many requests now.
+    Fire(usize),
+    /// Nothing to dispatch yet; re-decide at this time (or on the next
+    /// arrival, whichever is earlier).
+    WaitUntil(SimTime),
+    /// The queue is empty.
+    Idle,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Request;
+
+    fn queue_with(arrivals: &[u64]) -> BoundedQueue {
+        let mut q = BoundedQueue::new(64);
+        for (i, &t) in arrivals.iter().enumerate() {
+            q.admit(Request {
+                id: i as u64,
+                arrival_ns: t,
+            });
+        }
+        q
+    }
+
+    #[test]
+    fn size_trigger_fires_a_full_batch() {
+        let p = BatchPolicy::new(4, 1_000_000);
+        let q = queue_with(&[10, 20, 30, 40, 50]);
+        // Five waiting, max_batch 4: fire exactly 4 immediately, even
+        // though the delay deadline is far away.
+        assert_eq!(p.decide(60, &q), BatchDecision::Fire(4));
+    }
+
+    #[test]
+    fn delay_trigger_fires_a_partial_batch() {
+        let p = BatchPolicy::new(8, 1_000);
+        let q = queue_with(&[100, 200]);
+        // Before the head's deadline: wait for it.
+        assert_eq!(p.decide(500, &q), BatchDecision::WaitUntil(1_100));
+        // At/after the deadline: fire what is waiting (partial batch).
+        assert_eq!(p.decide(1_100, &q), BatchDecision::Fire(2));
+        assert_eq!(p.decide(5_000, &q), BatchDecision::Fire(2));
+    }
+
+    #[test]
+    fn empty_queue_is_idle() {
+        let p = BatchPolicy::new(4, 1_000);
+        let q = BoundedQueue::new(4);
+        assert_eq!(p.decide(0, &q), BatchDecision::Idle);
+    }
+
+    #[test]
+    fn zero_delay_fires_singletons_immediately() {
+        let p = BatchPolicy::new(8, 0);
+        let q = queue_with(&[42]);
+        assert_eq!(p.decide(42, &q), BatchDecision::Fire(1));
+    }
+}

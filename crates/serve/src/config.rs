@@ -1,0 +1,55 @@
+//! Serving-run configuration.
+
+use crate::batcher::BatchPolicy;
+use gpu_sim::DeviceProps;
+use nn::DispatchMode;
+
+/// Everything a serving run needs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Simulated device to serve on.
+    pub device: DeviceProps,
+    /// Kernel dispatch mode (naive / fixed streams / GLP4NN).
+    pub mode: DispatchMode,
+    /// Model name resolved through [`nn::models::spec_by_name`].
+    pub model: String,
+    /// Mean request arrival rate (requests per simulated second).
+    pub rate_rps: f64,
+    /// Number of requests to generate.
+    pub num_requests: usize,
+    /// Dynamic batching policy.
+    pub policy: BatchPolicy,
+    /// Admission queue capacity (requests beyond it are shed).
+    pub queue_capacity: usize,
+    /// Seed for the arrival process and model parameters.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A small CIFAR10-quick configuration useful as a starting point.
+    pub fn cifar10(mode: DispatchMode, device: DeviceProps, rate_rps: f64) -> Self {
+        ServeConfig {
+            device,
+            mode,
+            model: "CIFAR10".to_string(),
+            rate_rps,
+            num_requests: 400,
+            policy: BatchPolicy::new(8, 2_000_000),
+            queue_capacity: 1024,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_is_well_formed() {
+        let c = ServeConfig::cifar10(DispatchMode::Naive, DeviceProps::p100(), 1000.0);
+        assert_eq!(c.model, "CIFAR10");
+        assert!(c.policy.max_batch > 0);
+        assert!(c.queue_capacity >= c.policy.max_batch);
+    }
+}

@@ -1,0 +1,94 @@
+//! Latency and throughput metrics from the simulated clock.
+
+use crate::request::Completion;
+use gpu_sim::SimTime;
+
+/// Latency distribution summary (nearest-rank percentiles, ns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Median end-to-end latency.
+    pub p50_ns: SimTime,
+    /// 95th percentile.
+    pub p95_ns: SimTime,
+    /// 99th percentile.
+    pub p99_ns: SimTime,
+    /// Worst observed latency.
+    pub max_ns: SimTime,
+}
+
+impl LatencyStats {
+    /// Summarize a set of completions. Returns `None` if empty.
+    pub fn from_completions(completions: &[Completion]) -> Option<Self> {
+        let mut lat: Vec<SimTime> = completions.iter().map(|c| c.latency_ns()).collect();
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_unstable();
+        Some(LatencyStats {
+            p50_ns: percentile(&lat, 50.0),
+            p95_ns: percentile(&lat, 95.0),
+            p99_ns: percentile(&lat, 99.0),
+            max_ns: *lat.last().unwrap(),
+        })
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice.
+///
+/// # Panics
+/// Panics on an empty slice or a percentile outside `(0, 100]`.
+pub fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
+    assert!(!sorted.is_empty(), "percentile of empty slice");
+    assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+/// Completed requests per simulated second over `span_ns`.
+pub fn throughput_rps(completed: usize, span_ns: SimTime) -> f64 {
+    if span_ns == 0 {
+        return 0.0;
+    }
+    completed as f64 / (span_ns as f64 / 1e9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_rank_percentiles() {
+        let v: Vec<SimTime> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50.0), 50);
+        assert_eq!(percentile(&v, 95.0), 95);
+        assert_eq!(percentile(&v, 99.0), 99);
+        assert_eq!(percentile(&v, 100.0), 100);
+        let small = vec![7];
+        assert_eq!(percentile(&small, 50.0), 7);
+        assert_eq!(percentile(&small, 99.0), 7);
+    }
+
+    #[test]
+    fn stats_from_completions() {
+        let comps: Vec<Completion> = (0..10)
+            .map(|i| Completion {
+                id: i,
+                arrival_ns: 0,
+                start_ns: 0,
+                done_ns: (i + 1) * 100,
+            })
+            .collect();
+        let s = LatencyStats::from_completions(&comps).unwrap();
+        assert_eq!(s.p50_ns, 500);
+        assert_eq!(s.p99_ns, 1000);
+        assert_eq!(s.max_ns, 1000);
+        assert!(LatencyStats::from_completions(&[]).is_none());
+    }
+
+    #[test]
+    fn throughput_is_completions_over_span() {
+        assert_eq!(throughput_rps(500, 1_000_000_000), 500.0);
+        assert_eq!(throughput_rps(500, 500_000_000), 1000.0);
+        assert_eq!(throughput_rps(500, 0), 0.0);
+    }
+}

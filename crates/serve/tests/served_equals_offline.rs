@@ -1,0 +1,95 @@
+//! Served batch outputs must be bitwise-equal to an offline `nn::Net`
+//! forward over the same requests — serving adds batching and scheduling,
+//! never arithmetic.
+
+use gpu_sim::DeviceProps;
+use nn::models::spec_by_name;
+use nn::{DispatchMode, ExecCtx, Net};
+use serve::{BatchPolicy, ServeConfig, ServingEngine};
+
+fn config(mode: DispatchMode) -> ServeConfig {
+    ServeConfig {
+        device: DeviceProps::titan_xp(),
+        mode,
+        model: "CIFAR10".to_string(),
+        rate_rps: 1000.0,
+        num_requests: 32,
+        policy: BatchPolicy::new(8, 1_000_000),
+        queue_capacity: 64,
+        seed: 1234,
+    }
+}
+
+/// Offline reference: a fresh net from the same inference spec and seed,
+/// forwarded naively over the same request ids.
+fn offline_outputs(cfg: &ServeConfig, ids: &[u64]) -> Vec<Vec<f32>> {
+    let spec = spec_by_name(&cfg.model, cfg.policy.max_batch, cfg.seed)
+        .unwrap()
+        .inference();
+    let mut net = Net::from_spec(&spec);
+    let mut ctx = ExecCtx::naive(cfg.device.clone());
+    ServingEngine::fill_inputs(&mut net, &spec, ids);
+    net.forward_inference(&mut ctx);
+    let out = net.blob(spec.final_top().unwrap());
+    let per = out.count() / ids.len();
+    out.data().chunks(per).map(<[f32]>::to_vec).collect()
+}
+
+fn assert_bitwise_eq(a: &[Vec<f32>], b: &[Vec<f32>]) {
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(b) {
+        assert_eq!(ra.len(), rb.len());
+        for (x, y) in ra.iter().zip(rb) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
+#[test]
+fn served_batches_match_offline_forward_in_every_mode() {
+    let ids: Vec<u64> = (0..5).collect();
+    for mode in [
+        DispatchMode::Naive,
+        DispatchMode::FixedStreams(4),
+        DispatchMode::Glp4nn,
+    ] {
+        let cfg = config(mode);
+        let mut engine = ServingEngine::new(&cfg).unwrap();
+        let served = engine.forward_batch(&ids);
+        assert_eq!(served.len(), ids.len());
+        assert!(served.iter().all(|row| row.len() == 10)); // CIFAR10 classes
+        assert_bitwise_eq(&served, &offline_outputs(&cfg, &ids));
+    }
+}
+
+#[test]
+fn varying_batch_sizes_reuse_one_net_without_drift() {
+    // Feed the engine batches of varying size (as the dynamic batcher
+    // does) and check every batch against an offline forward of exactly
+    // those requests. Parameters must not drift across dispatches, and
+    // the per-request outputs must not depend on which batch served them.
+    let cfg = config(DispatchMode::Glp4nn);
+    let mut engine = ServingEngine::new(&cfg).unwrap();
+    engine.warmup(cfg.policy.max_batch);
+    let mut next_id = 0u64;
+    for k in [3usize, 8, 1, 5, 8, 2] {
+        let ids: Vec<u64> = (next_id..next_id + k as u64).collect();
+        next_id += k as u64;
+        let served = engine.forward_batch(&ids);
+        assert_bitwise_eq(&served, &offline_outputs(&cfg, &ids));
+    }
+}
+
+#[test]
+fn request_output_is_independent_of_batch_composition() {
+    let cfg = config(DispatchMode::Glp4nn);
+    let mut engine = ServingEngine::new(&cfg).unwrap();
+    // Request 7 served alone...
+    let alone = engine.forward_batch(&[7])[0].clone();
+    // ...and inside a full batch of unrelated requests.
+    let batch_ids: Vec<u64> = vec![3, 9, 7, 21, 4];
+    let in_batch = engine.forward_batch(&batch_ids)[2].clone();
+    for (x, y) in alone.iter().zip(&in_batch) {
+        assert_eq!(x.to_bits(), y.to_bits());
+    }
+}

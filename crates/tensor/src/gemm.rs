@@ -177,7 +177,8 @@ pub fn sgemv(
 mod tests {
     use super::*;
 
-    /// Naive reference implementation.
+    /// Naive reference implementation. Mirrors the BLAS `sgemm` signature.
+    #[allow(clippy::too_many_arguments)]
     fn reference(
         ta: Transpose,
         tb: Transpose,
@@ -240,7 +241,18 @@ mod tests {
         }
         let b = seq(n * n, 1.0);
         let mut c = vec![0.0f32; n * n];
-        sgemm(Transpose::No, Transpose::No, n, n, n, 1.0, &eye, &b, 0.0, &mut c);
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            n,
+            n,
+            n,
+            1.0,
+            &eye,
+            &b,
+            0.0,
+            &mut c,
+        );
         assert_eq!(c, b);
     }
 
@@ -250,7 +262,18 @@ mod tests {
         let mut c = vec![f32::NAN; 4];
         let a = vec![1.0f32; 4];
         let b = vec![1.0f32; 4];
-        sgemm(Transpose::No, Transpose::No, 2, 2, 2, 1.0, &a, &b, 0.0, &mut c);
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c,
+        );
         assert!(c.iter().all(|v| (*v - 2.0).abs() < 1e-6));
     }
 
@@ -259,7 +282,18 @@ mod tests {
         let a = vec![1.0f32; 4];
         let b = vec![1.0f32; 4];
         let mut c = vec![2.0f32; 4];
-        sgemm(Transpose::No, Transpose::No, 2, 2, 2, 0.0, &a, &b, 0.5, &mut c);
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            2,
+            2,
+            2,
+            0.0,
+            &a,
+            &b,
+            0.5,
+            &mut c,
+        );
         assert!(c.iter().all(|v| (*v - 1.0).abs() < 1e-6));
     }
 
@@ -270,8 +304,30 @@ mod tests {
         let b = seq(k * n, 0.2);
         let mut c1 = vec![0.0f32; m * n];
         let mut c2 = vec![0.0f32; m * n];
-        sgemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c1);
-        reference(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c2);
+        sgemm(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c1,
+        );
+        reference(
+            Transpose::No,
+            Transpose::No,
+            m,
+            n,
+            k,
+            1.0,
+            &a,
+            &b,
+            0.0,
+            &mut c2,
+        );
         for (x, y) in c1.iter().zip(&c2) {
             assert!((x - y).abs() < 1e-3);
         }
@@ -284,7 +340,18 @@ mod tests {
         let b = seq(k * n, 0.7);
         let run = || {
             let mut c = vec![0.0f32; m * n];
-            sgemm(Transpose::No, Transpose::No, m, n, k, 1.0, &a, &b, 0.0, &mut c);
+            sgemm(
+                Transpose::No,
+                Transpose::No,
+                m,
+                n,
+                k,
+                1.0,
+                &a,
+                &b,
+                0.0,
+                &mut c,
+            );
             c
         };
         assert_eq!(run(), run()); // bitwise

@@ -41,10 +41,7 @@ impl ConvGeometry {
 /// `(in + 2·pad − kernel) / stride + 1`.
 pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
     assert!(stride > 0, "stride must be positive");
-    assert!(
-        input + 2 * pad >= kernel,
-        "kernel larger than padded input"
-    );
+    assert!(input + 2 * pad >= kernel, "kernel larger than padded input");
     (input + 2 * pad - kernel) / stride + 1
 }
 

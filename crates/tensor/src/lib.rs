@@ -24,5 +24,5 @@ pub mod pool;
 pub use blob::Blob;
 pub use filler::Filler;
 pub use gemm::{sgemm, Transpose};
-pub use im2col::{col2im, im2col, conv_out_dim, ConvGeometry};
+pub use im2col::{col2im, conv_out_dim, im2col, ConvGeometry};
 pub use pool::parallel_for;

@@ -49,7 +49,10 @@ fn main() {
 
     // Sparkline-ish textual curve.
     let max = naive.iter().cloned().fold(f32::MIN, f32::max);
-    println!("{:<6} {:>10} {:>10}  loss curve (naive)", "iter", "naive", "glp4nn");
+    println!(
+        "{:<6} {:>10} {:>10}  loss curve (naive)",
+        "iter", "naive", "glp4nn"
+    );
     for (i, (a, b)) in naive.iter().zip(&glp).enumerate() {
         let bar = "#".repeat(((a / max) * 50.0) as usize);
         println!("{i:<6} {a:>10.6} {b:>10.6}  |{bar}");

@@ -36,18 +36,62 @@ fn my_net(batch: usize) -> NetSpec {
             ("label".into(), vec![batch]),
         ],
         layers: vec![
-            layer("stem", Convolution { num_output: 24, kernel: 3, stride: 1, pad: 1 }, &["data"], &["stem_o"]),
+            layer(
+                "stem",
+                Convolution {
+                    num_output: 24,
+                    kernel: 3,
+                    stride: 1,
+                    pad: 1,
+                },
+                &["data"],
+                &["stem_o"],
+            ),
             layer("stem_relu", Relu, &["stem_o"], &["stem_r"]),
             // Fan out to two parallel branches via an explicit split
             // (gradients from both branches accumulate), joined by concat
             // (inception-style).
             layer("fork", Split, &["stem_r"], &["fork_a", "fork_b"]),
-            layer("b1", Convolution { num_output: 16, kernel: 1, stride: 1, pad: 0 }, &["fork_a"], &["b1_o"]),
-            layer("b2", Convolution { num_output: 16, kernel: 5, stride: 1, pad: 2 }, &["fork_b"], &["b2_o"]),
+            layer(
+                "b1",
+                Convolution {
+                    num_output: 16,
+                    kernel: 1,
+                    stride: 1,
+                    pad: 0,
+                },
+                &["fork_a"],
+                &["b1_o"],
+            ),
+            layer(
+                "b2",
+                Convolution {
+                    num_output: 16,
+                    kernel: 5,
+                    stride: 1,
+                    pad: 2,
+                },
+                &["fork_b"],
+                &["b2_o"],
+            ),
             layer("join", Concat, &["b1_o", "b2_o"], &["join_o"]),
             layer("join_relu", Relu, &["join_o"], &["join_r"]),
-            layer("pool", Pooling { method: "max".into(), kernel: 2, stride: 2 }, &["join_r"], &["pool_o"]),
-            layer("fc", InnerProduct { num_output: 10 }, &["pool_o"], &["fc_o"]),
+            layer(
+                "pool",
+                Pooling {
+                    method: "max".into(),
+                    kernel: 2,
+                    stride: 2,
+                },
+                &["join_r"],
+                &["pool_o"],
+            ),
+            layer(
+                "fc",
+                InnerProduct { num_output: 10 },
+                &["pool_o"],
+                &["fc_o"],
+            ),
             layer("loss", SoftmaxLoss, &["fc_o", "label"], &["loss_o"]),
         ],
         seed: 99,
@@ -117,10 +161,7 @@ fn main() {
             nt[i] as f64 / gt[i] as f64
         );
     }
-    assert!(nl
-        .iter()
-        .zip(&gl)
-        .all(|(a, b)| a.to_bits() == b.to_bits()));
+    assert!(nl.iter().zip(&gl).all(|(a, b)| a.to_bits() == b.to_bits()));
     println!("\nnetwork-agnostic: the framework never saw this architecture before,");
     println!("yet profiles it, plans stream counts per conv layer, and keeps the math bitwise identical.");
 }

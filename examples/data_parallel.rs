@@ -49,19 +49,13 @@ fn main() {
         let mut last = None;
         for it in 0..iters {
             for r in 0..gpus {
-                fill(
-                    dp.replica_net(r),
-                    &ds,
-                    it * global_batch + r * per_gpu,
-                );
+                fill(dp.replica_net(r), &ds, it * global_batch + r * per_gpu);
             }
             last = Some(dp.step());
         }
         let rep = last.unwrap();
         let step_ms = rep.total_ns() as f64 / 1e6;
-        let scaling = baseline_ms
-            .map(|b: f64| b / step_ms)
-            .unwrap_or(1.0);
+        let scaling = baseline_ms.map(|b: f64| b / step_ms).unwrap_or(1.0);
         if baseline_ms.is_none() {
             baseline_ms = Some(step_ms);
         }

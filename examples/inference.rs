@@ -28,7 +28,13 @@ fn fill(net: &mut Net, ds: &SyntheticDataset, start: usize) {
     *net.blob_mut("label") = label;
 }
 
-fn accuracy(net: &mut Net, ctx: &mut ExecCtx, ds: &SyntheticDataset, batches: usize, batch: usize) -> f32 {
+fn accuracy(
+    net: &mut Net,
+    ctx: &mut ExecCtx,
+    ds: &SyntheticDataset,
+    batches: usize,
+    batch: usize,
+) -> f32 {
     let mut correct = 0usize;
     let mut total = 0usize;
     for b in 0..batches {

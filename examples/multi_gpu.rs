@@ -33,7 +33,11 @@ fn groups(samples: u64) -> Vec<Vec<KernelDesc>> {
 }
 
 fn main() {
-    let props = [DeviceProps::k40c(), DeviceProps::p100(), DeviceProps::titan_xp()];
+    let props = [
+        DeviceProps::k40c(),
+        DeviceProps::p100(),
+        DeviceProps::titan_xp(),
+    ];
     let mut glp = Glp4nn::new(props.len());
     let mut devices: Vec<Device> = props.iter().cloned().map(Device::new).collect();
     for (i, d) in devices.iter().enumerate() {
@@ -41,7 +45,10 @@ fn main() {
     }
     let key = LayerKey::forward("demo", "conv3");
 
-    println!("one GLP4NN framework, {} GPUs, same conv3-shaped layer\n", props.len());
+    println!(
+        "one GLP4NN framework, {} GPUs, same conv3-shaped layer\n",
+        props.len()
+    );
     println!(
         "{:<12} {:>12} {:>12} {:>9} {:>14}",
         "GPU", "profile(ms)", "steady(ms)", "speedup", "plan (streams)"

@@ -26,7 +26,15 @@ fn main() {
 
     println!(
         "layer {}/{}: Ci={} H/W={} Co={} F={} S={} P={}, batch {}\n",
-        w.net, w.layer, w.ci, w.hw, w.cfg.num_output, w.cfg.kernel, w.cfg.stride, w.cfg.pad, w.batch
+        w.net,
+        w.layer,
+        w.ci,
+        w.hw,
+        w.cfg.num_output,
+        w.cfg.kernel,
+        w.cfg.stride,
+        w.cfg.pad,
+        w.batch
     );
     let sweep = [1u32, 2, 3, 4, 6, 8, 12, 16, 24, 32];
     for dev in DeviceProps::evaluation_set() {

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, build, full test suite, and the serving
+# smoke sweep (deterministic; asserts GLP4NN throughput >= naive).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings
+cargo build --workspace --release
+cargo test --workspace -q
+cargo run -p glp4nn-bench --release --bin reproduce -- serving --smoke
+
+echo "ci: all checks passed"

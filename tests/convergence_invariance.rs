@@ -42,8 +42,7 @@ fn glp4nn_training_is_bitwise_identical_to_naive() {
     let iters = 5;
     let (naive_losses, naive_params) =
         train_losses(ExecCtx::naive(DeviceProps::p100()), iters, batch);
-    let (glp_losses, glp_params) =
-        train_losses(ExecCtx::glp4nn(DeviceProps::p100()), iters, batch);
+    let (glp_losses, glp_params) = train_losses(ExecCtx::glp4nn(DeviceProps::p100()), iters, batch);
 
     assert_eq!(
         naive_losses, glp_losses,

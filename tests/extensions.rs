@@ -6,8 +6,8 @@ use glp4nn::{ExecMode, Glp4nn, KernelGraph, LayerKey, OptimConfig};
 use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
 use nn::data::SyntheticDataset;
 use nn::models;
-use nn::{DataParallelTrainer, ExecCtx, Net, SolverConfig};
 use nn::solver::MomentumKind;
+use nn::{DataParallelTrainer, ExecCtx, Net, SolverConfig};
 use tensor::Blob;
 
 fn small_kernel(name: &str, tag: u64) -> KernelDesc {

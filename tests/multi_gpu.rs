@@ -51,7 +51,10 @@ fn two_gpus_profile_and_accelerate_independently() {
     // Pools were created on the right devices: pool size per GPU matches
     // the private analyzer's plan.
     assert_eq!(glp.stream_manager().pool_size(0), plan_k40.streams as usize);
-    assert_eq!(glp.stream_manager().pool_size(1), plan_p100.streams as usize);
+    assert_eq!(
+        glp.stream_manager().pool_size(1),
+        plan_p100.streams as usize
+    );
 }
 
 #[test]
@@ -63,7 +66,12 @@ fn shared_tracker_keeps_per_gpu_overheads_separate() {
     glp.register_device(1, d1.props());
 
     glp.execute(&mut d0, 0, &LayerKey::forward("net", "a"), groups(4, 1.0e6));
-    glp.execute(&mut d1, 1, &LayerKey::forward("net", "b"), groups(10, 1.0e6));
+    glp.execute(
+        &mut d1,
+        1,
+        &LayerKey::forward("net", "b"),
+        groups(10, 1.0e6),
+    );
 
     let c0 = glp.cost_report(0);
     let c1 = glp.cost_report(1);

@@ -5,13 +5,20 @@
 //! observation, Fig. 9 discussion).
 
 use gpu_sim::DeviceProps;
-use nn::layers::conv::{ConvConfig, ConvLayer};
 use nn::layer::Layer;
+use nn::layers::conv::{ConvConfig, ConvLayer};
 use nn::{DispatchMode, ExecCtx};
 use tensor::Blob;
 
 /// Forward one conv layer in timing-only mode; return simulated ns.
-fn time_conv(dev: DeviceProps, mode: DispatchMode, cfg: ConvConfig, batch: usize, ci: usize, hw: usize) -> u64 {
+fn time_conv(
+    dev: DeviceProps,
+    mode: DispatchMode,
+    cfg: ConvConfig,
+    batch: usize,
+    ci: usize,
+    hw: usize,
+) -> u64 {
     let mut ctx = ExecCtx::with_mode(dev, mode).timing_only();
     let mut layer = ConvLayer::new("conv", cfg, 1);
     let bottom = Blob::nchw(batch, ci, hw, hw);
@@ -40,7 +47,14 @@ fn caffenet_conv2() -> (ConvConfig, usize, usize, usize) {
 fn multi_stream_speedup_exists_on_p100() {
     let (cfg, n, ci, hw) = caffenet_conv2();
     let t1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, cfg, n, ci, hw);
-    let t4 = time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(4), cfg, n, ci, hw);
+    let t4 = time_conv(
+        DeviceProps::p100(),
+        DispatchMode::FixedStreams(4),
+        cfg,
+        n,
+        ci,
+        hw,
+    );
     let speedup = t1 as f64 / t4 as f64;
     assert!(
         speedup > 1.2,
@@ -54,7 +68,16 @@ fn speedup_saturates_with_many_streams() {
     let t1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, cfg, n, ci, hw) as f64;
     let speedups: Vec<f64> = [2u32, 4, 8, 16, 32]
         .iter()
-        .map(|&k| t1 / time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(k), cfg, n, ci, hw) as f64)
+        .map(|&k| {
+            t1 / time_conv(
+                DeviceProps::p100(),
+                DispatchMode::FixedStreams(k),
+                cfg,
+                n,
+                ci,
+                hw,
+            ) as f64
+        })
         .collect();
     // Monotone-ish rise then plateau: the gain from 16 -> 32 streams must
     // be much smaller than from 1 -> 4.
@@ -109,12 +132,26 @@ fn tiny_fast_layers_gain_little() {
         pad: 0,
     };
     let t1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, tiny, 64, 1, 28) as f64;
-    let t8 = time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(8), tiny, 64, 1, 28) as f64;
+    let t8 = time_conv(
+        DeviceProps::p100(),
+        DispatchMode::FixedStreams(8),
+        tiny,
+        64,
+        1,
+        28,
+    ) as f64;
     let tiny_speedup = t1 / t8;
 
     let (cfg, n, ci, hw) = caffenet_conv2();
     let b1 = time_conv(DeviceProps::p100(), DispatchMode::Naive, cfg, n, ci, hw) as f64;
-    let b8 = time_conv(DeviceProps::p100(), DispatchMode::FixedStreams(8), cfg, n, ci, hw) as f64;
+    let b8 = time_conv(
+        DeviceProps::p100(),
+        DispatchMode::FixedStreams(8),
+        cfg,
+        n,
+        ci,
+        hw,
+    ) as f64;
     let big_speedup = b1 / b8;
 
     assert!(
@@ -130,7 +167,14 @@ fn speedups_bounded_by_reasonable_limits() {
     let (cfg, n, ci, hw) = caffenet_conv2();
     for k in [2u32, 8, 32] {
         let t1 = time_conv(DeviceProps::titan_xp(), DispatchMode::Naive, cfg, n, ci, hw) as f64;
-        let tk = time_conv(DeviceProps::titan_xp(), DispatchMode::FixedStreams(k), cfg, n, ci, hw) as f64;
+        let tk = time_conv(
+            DeviceProps::titan_xp(),
+            DispatchMode::FixedStreams(k),
+            cfg,
+            n,
+            ci,
+            hw,
+        ) as f64;
         let s = t1 / tk;
         assert!(s > 0.3 && s < 32.0, "speedup {s:.2} out of plausible range");
     }

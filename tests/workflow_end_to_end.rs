@@ -11,10 +11,7 @@ fn forward_timing_only(ctx: &mut ExecCtx, spec: &nn::NetSpec) -> u64 {
     let mut net = Net::from_spec(spec);
     ctx.take_timings();
     net.forward(ctx);
-    ctx.take_timings()
-        .iter()
-        .map(|t| t.elapsed_ns)
-        .sum()
+    ctx.take_timings().iter().map(|t| t.elapsed_ns).sum()
 }
 
 #[test]
@@ -90,11 +87,15 @@ fn plans_are_cached_per_layer_and_phase() {
     net.backward(&mut ctx);
     let glp = ctx.glp.as_ref().unwrap();
     for layer in ["conv1", "conv2", "conv3"] {
-        let f = glp.plan_for(0, &glp4nn::LayerKey::forward("CIFAR10", layer));
+        let f = glp.plan_for(
+            0,
+            &glp4nn::LayerKey::forward("CIFAR10", layer).with_chunks(16),
+        );
         let b = glp4nn::LayerKey {
             net: "CIFAR10".into(),
             layer: layer.into(),
             phase: Phase::Backward,
+            chunks: 16,
         };
         assert!(f.is_some(), "forward plan for {layer}");
         assert!(glp.plan_for(0, &b).is_some(), "backward plan for {layer}");
@@ -141,7 +142,12 @@ fn googlenet_and_caffenet_run_timing_only() {
         net.forward(&mut ctx);
         let timings = ctx.take_timings();
         assert!(!timings.is_empty());
-        assert!(timings.iter().any(|t| matches!(t.mode, ExecMode::Concurrent { .. })),
-            "{}: some layer must reach concurrent dispatch", spec.name);
+        assert!(
+            timings
+                .iter()
+                .any(|t| matches!(t.mode, ExecMode::Concurrent { .. })),
+            "{}: some layer must reach concurrent dispatch",
+            spec.name
+        );
     }
 }

@@ -1,0 +1,113 @@
+//! Offline shim for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::scope` / `crossbeam::thread::Scope::spawn` — the
+//! only surface the workspace uses — implemented on `std::thread::scope`.
+//! Spawn requests are collected while the caller's closure runs, then
+//! executed on real scoped threads; a panicking worker surfaces as `Err`
+//! from [`scope`], matching crossbeam's contract.
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Mutex;
+
+    /// Result type of [`scope`](super::scope): `Err` carries a worker panic
+    /// payload.
+    pub type Result<T> = std::thread::Result<T>;
+
+    type Task<'env> = Box<dyn for<'a> FnOnce(&'a Scope<'env>) + Send + 'env>;
+
+    /// A scope handle: `spawn` registers closures that run on worker
+    /// threads before [`scope`](super::scope) returns.
+    pub struct Scope<'env> {
+        tasks: Mutex<Vec<Task<'env>>>,
+    }
+
+    impl<'env> Scope<'env> {
+        /// Spawn a worker. The closure receives the scope handle (so it may
+        /// spawn further work) and is guaranteed to finish before `scope`
+        /// returns. The return value is discarded, as crossbeam callers in
+        /// this workspace never join handles explicitly.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'env>) -> T + Send + 'env,
+            T: Send + 'env,
+        {
+            self.tasks.lock().unwrap().push(Box::new(move |s| {
+                f(s);
+            }));
+        }
+    }
+
+    pub(crate) fn run_scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let s = Scope {
+            tasks: Mutex::new(Vec::new()),
+        };
+        catch_unwind(AssertUnwindSafe(|| {
+            let r = f(&s);
+            // Run collected tasks; tasks may spawn more, so drain in waves.
+            loop {
+                let batch: Vec<Task<'env>> = std::mem::take(&mut *s.tasks.lock().unwrap());
+                if batch.is_empty() {
+                    break;
+                }
+                let sref = &s;
+                std::thread::scope(|ts| {
+                    for task in batch {
+                        ts.spawn(move || task(sref));
+                    }
+                });
+            }
+            r
+        }))
+    }
+}
+
+/// Create a scope for spawning borrowed-data threads. All spawned workers
+/// complete before this returns; a worker panic is reported as `Err`.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: FnOnce(&thread::Scope<'env>) -> R,
+{
+    thread::run_scope(f)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn workers_finish_before_scope_returns() {
+        let mut data = vec![0u64; 64];
+        let mid = data.len() / 2;
+        let (a, b) = data.split_at_mut(mid);
+        super::scope(|s| {
+            s.spawn(move |_| a.iter_mut().for_each(|x| *x += 1));
+            s.spawn(move |_| b.iter_mut().for_each(|x| *x += 2));
+        })
+        .unwrap();
+        assert!(data[..mid].iter().all(|&x| x == 1));
+        assert!(data[mid..].iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn worker_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_runs() {
+        let flag = std::sync::atomic::AtomicBool::new(false);
+        let fref = &flag;
+        super::scope(|s| {
+            s.spawn(move |inner| {
+                inner.spawn(move |_| fref.store(true, std::sync::atomic::Ordering::SeqCst));
+            });
+        })
+        .unwrap();
+        assert!(flag.load(std::sync::atomic::Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,103 @@
+//! Case generation and the test loop.
+
+use crate::strategy::Strategy;
+
+/// Runner configuration (shim: only the case count is honored).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of passing cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the case is discarded.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError::Fail(msg)
+    }
+}
+
+/// Deterministic RNG driving generation (xoshiro256++, fixed seed).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG seeded from `seed` via SplitMix64 expansion.
+    pub fn seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            *word = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Drive `test` over `cfg.cases` generated inputs, panicking on the first
+/// failing case (inputs are not shrunk).
+pub fn run<S, F>(cfg: ProptestConfig, strategy: S, mut test: F)
+where
+    S: Strategy,
+    F: FnMut(S::Value) -> Result<(), TestCaseError>,
+{
+    let mut rng = TestRng::seed(0xA02B_DBF7_BB3C_0A75);
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    while passed < cfg.cases {
+        match test(strategy.generate(&mut rng)) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < cfg.cases as u64 * 20 + 1000,
+                    "too many prop_assume! rejections ({rejected}) for {} cases",
+                    cfg.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest case failed after {passed} passing cases: {msg}")
+            }
+        }
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline shim for the `rand` crate (0.8 API subset).
+//!
+//! Provides `rngs::StdRng` (xoshiro256++ seeded through SplitMix64),
+//! `SeedableRng::seed_from_u64`, `Rng::gen`, and
+//! `distributions::{Distribution, Uniform}` — exactly the surface the
+//! tensor fillers and the dropout layer use. Streams are deterministic per
+//! seed (which the workspace's tests rely on) but do NOT match upstream
+//! rand's `StdRng` byte-for-byte.
+
+pub mod rngs;
+
+pub mod distributions {
+    use crate::RngCore;
+
+    /// Types that can produce values of `T` from an RNG.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Types samplable by [`Uniform`]. The single generic constructor (as
+    /// in real rand) lets call sites rely on inference to pick the type.
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Map 64 random bits onto `[lo, hi)` (or `[lo, hi]` if inclusive).
+        fn uniform_from_bits(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self;
+    }
+
+    macro_rules! sample_uniform_float {
+        ($t:ty, $bits:expr) => {
+            impl SampleUniform for $t {
+                fn uniform_from_bits(lo: Self, hi: Self, inclusive: bool, bits: u64) -> Self {
+                    let denom = if inclusive {
+                        ((1u64 << $bits) - 1) as $t
+                    } else {
+                        (1u64 << $bits) as $t
+                    };
+                    let u = (bits >> (64 - $bits)) as $t / denom;
+                    lo + u * (hi - lo)
+                }
+            }
+        };
+    }
+    sample_uniform_float!(f32, 24);
+    sample_uniform_float!(f64, 53);
+
+    /// Uniform distribution over an interval.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform<T> {
+        lo: T,
+        hi: T,
+        inclusive: bool,
+    }
+
+    impl<T: SampleUniform> Uniform<T> {
+        /// Uniform on the half-open interval `[lo, hi)`.
+        pub fn new(lo: T, hi: T) -> Self {
+            assert!(lo < hi, "Uniform::new requires lo < hi");
+            Uniform {
+                lo,
+                hi,
+                inclusive: false,
+            }
+        }
+
+        /// Uniform on the closed interval `[lo, hi]`.
+        pub fn new_inclusive(lo: T, hi: T) -> Self {
+            assert!(lo <= hi, "Uniform::new_inclusive requires lo <= hi");
+            Uniform {
+                lo,
+                hi,
+                inclusive: true,
+            }
+        }
+    }
+
+    impl<T: SampleUniform> Distribution<T> for Uniform<T> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+            T::uniform_from_bits(self.lo, self.hi, self.inclusive, rng.next_u64())
+        }
+    }
+}
+
+/// Low-level RNG interface: a source of 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 random bits (upper half of [`next_u64`](Self::next_u64)).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Sampling of a type's "standard" distribution (uniform over the domain
+/// for integers and bools, `[0, 1)` for floats).
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// High-level convenience methods, blanket-implemented for every RNG.
+pub trait Rng: RngCore {
+    /// Sample a value from the type's standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Uniform integer in `[0, bound)`.
+    fn gen_range_usize(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// RNGs constructible from seed material.
+pub trait SeedableRng: Sized {
+    /// Deterministic construction from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen::<u64>()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen::<u64>()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_f32_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_mean() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Uniform::new_inclusive(-1.0f32, 1.0f32);
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((-1.0..=1.0).contains(&v));
+            sum += v as f64;
+        }
+        let mean = sum / n as f64;
+        assert!(mean.abs() < 0.02, "uniform mean drifted: {mean}");
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline shim for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its spec types
+//! (`NetSpec` et al.) but never drives an actual serializer — there is no
+//! data format crate in the dependency tree. The shim therefore provides
+//! the two traits as markers plus derive macros that emit the marker
+//! impls, which keeps the derive annotations meaningful (a type must still
+//! be nameable and well-formed) without a serialization engine.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized (shim: no methods).
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized (shim: no methods).
+pub trait Deserialize<'de> {}

@@ -1,0 +1,47 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Emits marker-trait impls for the shim `serde` crate. No `syn`/`quote`:
+//! the item's name is recovered with a tiny hand-rolled scan over the token
+//! stream (skip attributes and visibility, take the identifier after
+//! `struct`/`enum`). Generic spec types would need real parsing, but the
+//! workspace only derives on plain named types.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the type name following the `struct` or `enum` keyword.
+fn item_name(item: TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    // Non-ident trees (attribute/visibility groups, punctuation) are skipped.
+    for tree in item {
+        if let TokenTree::Ident(id) = tree {
+            let s = id.to_string();
+            if saw_kw {
+                return Some(s);
+            }
+            if s == "struct" || s == "enum" {
+                saw_kw = true;
+            }
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(item: TokenStream) -> TokenStream {
+    match item_name(item) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(item: TokenStream) -> TokenStream {
+    match item_name(item) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .unwrap(),
+        None => TokenStream::new(),
+    }
+}

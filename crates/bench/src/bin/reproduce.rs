@@ -20,6 +20,7 @@
 //!   ablation fusion/reordering (§6) and launch-overhead sensitivity
 //!   generations GLP4NN across Fermi→Volta device generations
 //!   serving  inference serving with dynamic batching  [--smoke]
+//!   sanitize stream-schedule sanitizer over 4 nets x 3 dispatch modes  [--smoke]
 //!   all      everything above
 //! ```
 //!
@@ -569,6 +570,69 @@ fn serving(smoke: bool) {
     );
 }
 
+fn sanitize(smoke: bool) {
+    println!("== Sanitize: plan validation + happens-before replay, 4 nets x 3 dispatch modes ==");
+    println!("(two training iterations each so GLP4NN reaches concurrent steady state)");
+    println!(
+        "{:<10} {:<10} {:>7} {:>12} {:>12} {:>13} {:>13} {:>8}",
+        "net",
+        "mode",
+        "plans",
+        "plan pairs",
+        "chunk pairs",
+        "trace kerns",
+        "trace pairs",
+        "reports"
+    );
+    let modes = [
+        ("naive", DispatchMode::Naive),
+        ("8-streams", DispatchMode::FixedStreams(8)),
+        ("glp4nn", DispatchMode::Glp4nn),
+    ];
+    let mut total_reports = 0usize;
+    for net in ["CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"] {
+        for (label, mode) in modes {
+            let mut ctx = match mode {
+                DispatchMode::Glp4nn => ExecCtx::glp4nn(DeviceProps::p100()),
+                m => ExecCtx::with_mode(DeviceProps::p100(), m),
+            }
+            .timing_only()
+            .sanitize(sanitizer::SanitizeMode::Full);
+            let spec = if smoke {
+                net_spec_with_batch(net, 4, 1)
+            } else {
+                net_spec(net, 1)
+            };
+            let mut net_obj = Net::from_spec(&spec);
+            for _ in 0..2 {
+                iteration_timings(&mut ctx, &mut net_obj);
+            }
+            let s = ctx.sanitizer.stats();
+            let reports = ctx.sanitizer.reports();
+            println!(
+                "{:<10} {:<10} {:>7} {:>12} {:>12} {:>13} {:>13} {:>8}",
+                net,
+                label,
+                s.plans_checked,
+                s.plan_pairs,
+                s.chunk_pairs,
+                s.trace_kernels,
+                s.trace_pairs,
+                reports.len()
+            );
+            for d in reports {
+                println!("  {d}");
+            }
+            total_reports += reports.len();
+        }
+    }
+    assert_eq!(
+        total_reports, 0,
+        "sanitizer reported {total_reports} diagnostic(s) on schedules that must be clean"
+    );
+    println!("\nsanitize: every schedule clean — chunk regions disjoint, all conflicts ordered");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -597,6 +661,7 @@ fn main() {
         "ablation" => ablation(),
         "generations" => generations(),
         "serving" => serving(smoke),
+        "sanitize" => sanitize(smoke),
         "all" => {
             table1();
             println!();
@@ -629,10 +694,12 @@ fn main() {
             generations();
             println!();
             serving(smoke);
+            println!();
+            sanitize(smoke);
         }
         _ => {
             eprintln!(
-                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|all> [--iters N] [--smoke]"
+                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|all> [--iters N] [--smoke]"
             );
             std::process::exit(2);
         }

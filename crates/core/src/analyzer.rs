@@ -194,12 +194,34 @@ pub fn analyze_profiles(props: &DeviceProps, profiles: &[KernelProfile]) -> Conc
     m.add_le_constraint("conc_hi", &conc_terms, props.concurrency_degree() as f64);
     m.add_ge_constraint("conc_lo", &conc_terms, 1.0);
 
-    let sol = milp::solve(&m).expect("analyzer program is always feasible (Σ#K ≥ 1 fits)");
+    // The program is feasible by construction (Σ#K ≥ 1 always fits), but a
+    // solver failure must not take the training loop down: fall back to
+    // the serial plan (one stream) and let the next profiling window retry.
+    let sol = match milp::solve(&m) {
+        Ok(sol) => sol,
+        Err(_) => {
+            return ConcurrencyPlan {
+                per_kernel: profiles.iter().map(|p| (p.name.clone(), 1)).collect(),
+                streams: 1,
+                objective_threads_per_sm: 0.0,
+                analysis_time: t0.elapsed(),
+                class_durations: profiles
+                    .iter()
+                    .map(|p| (p.name.clone(), p.avg_duration_ns))
+                    .collect(),
+            };
+        }
+    };
 
     let per_kernel: Vec<(String, u32)> = profiles
         .iter()
         .zip(&vars)
-        .map(|(p, &v)| (p.name.clone(), sol.int_value(v).max(0) as u32))
+        .map(|(p, &v)| {
+            (
+                p.name.clone(),
+                sol.try_int_value(v).unwrap_or(1).max(0) as u32,
+            )
+        })
         .collect();
     let streams: u32 = per_kernel.iter().map(|&(_, k)| k).sum::<u32>().max(1);
     let class_durations = profiles

@@ -9,9 +9,49 @@ use crate::analyzer::KernelAnalyzer;
 use crate::cost::CostReport;
 use crate::optim::OptimConfig;
 use crate::scheduler::RuntimeScheduler;
-use crate::streams::StreamManager;
+use crate::streams::{StreamError, StreamManager};
 use crate::tracker::ResourceTracker;
 use gpu_sim::{Device, DeviceProps, KernelDesc, SimTime};
+use sanitizer::Sanitizer;
+
+/// Error from framework-level execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Glp4nnError {
+    /// The GPU slot exists but [`Glp4nn::register_device`] was never
+    /// called for it (or the index is out of range).
+    DeviceNotRegistered {
+        /// The requested GPU index.
+        gpu: usize,
+    },
+    /// The shared stream manager rejected the request.
+    Stream(StreamError),
+}
+
+impl std::fmt::Display for Glp4nnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Glp4nnError::DeviceNotRegistered { gpu } => {
+                write!(f, "device {gpu} not registered with Glp4nn")
+            }
+            Glp4nnError::Stream(e) => write!(f, "stream manager: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Glp4nnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Glp4nnError::Stream(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StreamError> for Glp4nnError {
+    fn from(e: StreamError) -> Self {
+        Glp4nnError::Stream(e)
+    }
+}
 
 /// Which pass of training a layer execution belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -157,7 +197,8 @@ impl Glp4nn {
     /// model-sized stream pool).
     ///
     /// # Panics
-    /// Panics if `gpu` was not registered.
+    /// Panics if `gpu` was not registered; fallible callers should use
+    /// [`try_execute`](Self::try_execute).
     pub fn execute(
         &mut self,
         dev: &mut Device,
@@ -165,23 +206,48 @@ impl Glp4nn {
         key: &LayerKey,
         groups: Vec<Vec<KernelDesc>>,
     ) -> ExecReport {
-        let rt = self.gpus[gpu]
-            .as_mut()
-            .expect("device not registered with Glp4nn");
-        rt.scheduler.execute(
-            dev,
-            &self.tracker,
-            &mut rt.analyzer,
-            &self.streams,
-            key,
-            groups,
-        )
+        self.try_execute(dev, gpu, key, groups, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`execute`](Self::execute), but with typed errors instead of
+    /// panics and an optional schedule [`Sanitizer`]: when attached, the
+    /// exact dispatch plan is validated before launch and (in full mode)
+    /// the executed command trace is replayed afterwards.
+    pub fn try_execute(
+        &mut self,
+        dev: &mut Device,
+        gpu: usize,
+        key: &LayerKey,
+        groups: Vec<Vec<KernelDesc>>,
+        sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<ExecReport, Glp4nnError> {
+        let rt = self
+            .gpus
+            .get_mut(gpu)
+            .and_then(Option::as_mut)
+            .ok_or(Glp4nnError::DeviceNotRegistered { gpu })?;
+        rt.scheduler
+            .execute(
+                dev,
+                &self.tracker,
+                &mut rt.analyzer,
+                &self.streams,
+                key,
+                groups,
+                sanitizer,
+            )
+            .map_err(Glp4nnError::from)
     }
 
     /// Execute a dataflow-style [`crate::KernelGraph`] (the §6 extension)
     /// with the same profile-once-then-concurrent workflow as
     /// [`execute`](Self::execute). Cross-stream dependencies are enforced
     /// with events, so the dependency structure is preserved exactly.
+    ///
+    /// # Panics
+    /// Panics if `gpu` was not registered; fallible callers should use
+    /// [`try_execute_graph`](Self::try_execute_graph).
     pub fn execute_graph(
         &mut self,
         dev: &mut Device,
@@ -189,37 +255,74 @@ impl Glp4nn {
         key: &LayerKey,
         graph: &crate::KernelGraph,
     ) -> ExecReport {
-        let rt = self.gpus[gpu]
-            .as_mut()
-            .expect("device not registered with Glp4nn");
+        self.try_execute_graph(dev, gpu, key, graph, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`execute_graph`](Self::execute_graph), with typed errors and
+    /// an optional [`Sanitizer`]: the dependency closure is statically
+    /// checked against the declared access sets and the stream-assignment
+    /// plan is validated before launch.
+    pub fn try_execute_graph(
+        &mut self,
+        dev: &mut Device,
+        gpu: usize,
+        key: &LayerKey,
+        graph: &crate::KernelGraph,
+        mut sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<ExecReport, Glp4nnError> {
+        let rt = self
+            .gpus
+            .get_mut(gpu)
+            .and_then(Option::as_mut)
+            .ok_or(Glp4nnError::DeviceNotRegistered { gpu })?;
         let key_str = key.cache_key();
         let t0 = dev.now();
         let kernels = graph.len();
+        if let Some(san) = sanitizer.as_deref_mut() {
+            // Stream-agnostic: deps alone must cover every conflict, or
+            // some legal stream assignment races.
+            san.check_graph(&key_str, graph.nodes(), graph.all_deps());
+        }
         if let Some(plan) = rt.analyzer.plan_for(&key_str).cloned() {
-            let pool = self.streams.pool(dev, gpu, plan.streams as usize);
+            let pool = self.streams.pool(dev, gpu, plan.streams as usize)?;
+            if let Some(san) = sanitizer.as_deref_mut() {
+                san.check_plan(&sanitizer::DispatchPlan::from_graph(
+                    &key_str,
+                    graph.nodes(),
+                    graph.all_deps(),
+                    pool.len(),
+                ));
+            }
             graph.launch(dev, &pool);
             let end = dev.run();
-            return ExecReport {
+            if let Some(san) = sanitizer {
+                san.check_device(dev);
+            }
+            return Ok(ExecReport {
                 mode: ExecMode::Concurrent {
                     streams: plan.streams,
                 },
                 elapsed_ns: end - t0,
                 kernels,
-            };
+            });
         }
         self.tracker.ingest(gpu, dev.trace());
         self.tracker.enable(gpu);
         graph.launch(dev, &[dev.default_stream()]);
         let end = dev.run();
+        if let Some(san) = sanitizer {
+            san.check_device(dev);
+        }
         self.tracker.ingest(gpu, dev.trace());
         self.tracker.disable(gpu);
         let profiles = self.tracker.parse(gpu);
         rt.analyzer.analyze(&key_str, &profiles);
-        ExecReport {
+        Ok(ExecReport {
             mode: ExecMode::Profiling,
             elapsed_ns: end - t0,
             kernels,
-        }
+        })
     }
 
     /// The cached concurrency plan for a layer, if analyzed.
@@ -338,6 +441,23 @@ mod tests {
     }
 
     #[test]
+    fn try_execute_returns_typed_error() {
+        let mut glp = Glp4nn::new(1);
+        let mut dev = Device::new(DeviceProps::p100());
+        let key = LayerKey::forward("net", "l");
+        let err = glp
+            .try_execute(&mut dev, 0, &key, groups(1), None)
+            .unwrap_err();
+        assert_eq!(err, Glp4nnError::DeviceNotRegistered { gpu: 0 });
+        assert!(err.to_string().contains("not registered"), "{err}");
+        // Out-of-range index is the same error, not a panic.
+        assert_eq!(
+            glp.try_execute(&mut dev, 9, &key, groups(1), None),
+            Err(Glp4nnError::DeviceNotRegistered { gpu: 9 })
+        );
+    }
+
+    #[test]
     fn stream_pool_sized_by_plan() {
         let mut glp = Glp4nn::new(1);
         let mut dev = Device::new(DeviceProps::k40c());
@@ -346,6 +466,9 @@ mod tests {
         glp.execute(&mut dev, 0, &key, groups(8));
         let plan = glp.plan_for(0, &key).unwrap();
         glp.execute(&mut dev, 0, &key, groups(8));
-        assert_eq!(glp.stream_manager().pool_size(0), plan.streams as usize);
+        assert_eq!(
+            glp.stream_manager().pool_size(0).unwrap(),
+            plan.streams as usize
+        );
     }
 }

@@ -12,6 +12,33 @@
 use gpu_sim::{Device, EventId, KernelDesc, StreamId};
 use std::collections::VecDeque;
 
+/// Error from building a [`KernelGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphError {
+    /// A dependency referred to a node not yet added (insertion order is
+    /// the graph's topological order, so forward references are invalid).
+    InvalidDependency {
+        /// Index the new node would have received.
+        node: usize,
+        /// The offending dependency index.
+        dep: usize,
+    },
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::InvalidDependency { node, dep } => write!(
+                f,
+                "dependency {dep} must be added before node {node} \
+                 (graph has {node} node(s) so far)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// A DAG of kernels. Node indices are positions in `nodes`.
 #[derive(Debug, Clone, Default)]
 pub struct KernelGraph {
@@ -28,21 +55,30 @@ impl KernelGraph {
 
     /// Add a kernel with explicit dependencies; returns the node index.
     ///
-    /// # Panics
-    /// Panics if a dependency index refers to a node not yet added
+    /// # Errors
+    /// Rejects any dependency index referring to a node not yet added
     /// (insertion order is thus always a valid topological order).
-    pub fn add(&mut self, kernel: KernelDesc, deps: &[usize]) -> usize {
+    pub fn add(&mut self, kernel: KernelDesc, deps: &[usize]) -> Result<usize, GraphError> {
         let idx = self.nodes.len();
         for &d in deps {
-            assert!(d < idx, "dependency {d} must be added before node {idx}");
+            if d >= idx {
+                return Err(GraphError::InvalidDependency { node: idx, dep: d });
+            }
         }
         self.nodes.push(kernel);
         self.deps.push(deps.to_vec());
-        idx
+        Ok(idx)
     }
 
     /// Convenience: add a dependent chain, returning the node indices.
-    pub fn add_chain(&mut self, kernels: Vec<KernelDesc>, deps_of_first: &[usize]) -> Vec<usize> {
+    ///
+    /// # Errors
+    /// Rejects forward references in `deps_of_first`, like [`add`](Self::add).
+    pub fn add_chain(
+        &mut self,
+        kernels: Vec<KernelDesc>,
+        deps_of_first: &[usize],
+    ) -> Result<Vec<usize>, GraphError> {
         let mut ids = Vec::with_capacity(kernels.len());
         for (i, k) in kernels.into_iter().enumerate() {
             let deps: Vec<usize> = if i == 0 {
@@ -50,10 +86,10 @@ impl KernelGraph {
             } else {
                 vec![*ids.last().unwrap()]
             };
-            let id = self.add(k, &deps);
+            let id = self.add(k, &deps)?;
             ids.push(id);
         }
-        ids
+        Ok(ids)
     }
 
     /// Number of kernels.
@@ -74,6 +110,12 @@ impl KernelGraph {
     /// Dependencies of node `i`.
     pub fn deps(&self, i: usize) -> &[usize] {
         &self.deps[i]
+    }
+
+    /// Dependency lists of all nodes, indexed like [`nodes`](Self::nodes)
+    /// (the shape the schedule sanitizer consumes).
+    pub fn all_deps(&self) -> &[Vec<usize>] {
+        &self.deps
     }
 
     /// Weakly-connected components; each component is independent of the
@@ -186,20 +228,34 @@ mod tests {
     #[test]
     fn insertion_order_is_topological() {
         let mut g = KernelGraph::new();
-        let a = g.add(kernel("a", 1e6), &[]);
-        let b = g.add(kernel("b", 1e6), &[a]);
-        let c = g.add(kernel("c", 1e6), &[a]);
-        let d = g.add(kernel("d", 1e6), &[b, c]);
+        let a = g.add(kernel("a", 1e6), &[]).unwrap();
+        let b = g.add(kernel("b", 1e6), &[a]).unwrap();
+        let c = g.add(kernel("c", 1e6), &[a]).unwrap();
+        let d = g.add(kernel("d", 1e6), &[b, c]).unwrap();
         assert_eq!((a, b, c, d), (0, 1, 2, 3));
         assert_eq!(g.len(), 4);
         assert_eq!(g.deps(3), &[1, 2]);
     }
 
     #[test]
-    #[should_panic(expected = "must be added before")]
     fn forward_dependency_rejected() {
         let mut g = KernelGraph::new();
-        g.add(kernel("a", 1e6), &[3]);
+        let err = g.add(kernel("a", 1e6), &[3]).unwrap_err();
+        assert_eq!(err, GraphError::InvalidDependency { node: 0, dep: 3 });
+        assert!(err.to_string().contains("must be added before"), "{err}");
+        assert!(g.is_empty(), "failed add leaves the graph unchanged");
+        // Self-reference is a forward reference too.
+        let a = g.add(kernel("a", 1e6), &[]).unwrap();
+        assert_eq!(
+            g.add(kernel("b", 1e6), &[a, 1]),
+            Err(GraphError::InvalidDependency { node: 1, dep: 1 })
+        );
+        assert_eq!(g.len(), 1);
+        // add_chain propagates the same error.
+        assert_eq!(
+            g.add_chain(vec![kernel("c", 1e6)], &[9]),
+            Err(GraphError::InvalidDependency { node: 1, dep: 9 })
+        );
     }
 
     #[test]
@@ -207,10 +263,10 @@ mod tests {
         let mut dev = Device::new(DeviceProps::p100());
         let p = pool(&mut dev, 4);
         let mut g = KernelGraph::new();
-        let a = g.add(kernel("a", 5e6), &[]);
-        let b = g.add(kernel("b", 5e6), &[a]);
-        let c = g.add(kernel("c", 5e6), &[a]);
-        let d = g.add(kernel("d", 5e6), &[b, c]);
+        let a = g.add(kernel("a", 5e6), &[]).unwrap();
+        let b = g.add(kernel("b", 5e6), &[a]).unwrap();
+        let c = g.add(kernel("c", 5e6), &[a]).unwrap();
+        let d = g.add(kernel("d", 5e6), &[b, c]).unwrap();
         let ids = g.launch(&mut dev, &p);
         dev.run();
         let span = |i: usize| dev.kernel_span(ids[i]).unwrap();
@@ -225,9 +281,9 @@ mod tests {
         let mut dev = Device::new(DeviceProps::p100());
         let p = pool(&mut dev, 4);
         let mut g = KernelGraph::new();
-        let a = g.add(kernel("a", 2e6), &[]);
-        let b = g.add(kernel("b", 5e7), &[a]);
-        let c = g.add(kernel("c", 5e7), &[a]);
+        let a = g.add(kernel("a", 2e6), &[]).unwrap();
+        let b = g.add(kernel("b", 5e7), &[a]).unwrap();
+        let c = g.add(kernel("c", 5e7), &[a]).unwrap();
         let ids = g.launch(&mut dev, &p);
         dev.run();
         let (bs, be) = dev.kernel_span(ids[b]).unwrap();
@@ -244,10 +300,12 @@ mod tests {
         let mut dev = Device::new(DeviceProps::p100());
         let p = pool(&mut dev, 4);
         let mut g = KernelGraph::new();
-        let ids = g.add_chain(
-            vec![kernel("x", 1e6), kernel("y", 1e6), kernel("z", 1e6)],
-            &[],
-        );
+        let ids = g
+            .add_chain(
+                vec![kernel("x", 1e6), kernel("y", 1e6), kernel("z", 1e6)],
+                &[],
+            )
+            .unwrap();
         assert_eq!(ids, vec![0, 1, 2]);
         let kids = g.launch(&mut dev, &p);
         dev.run();
@@ -268,11 +326,11 @@ mod tests {
     #[test]
     fn components_found() {
         let mut g = KernelGraph::new();
-        let a = g.add(kernel("a", 1e6), &[]);
-        let _b = g.add(kernel("b", 1e6), &[a]);
-        let c = g.add(kernel("c", 1e6), &[]);
-        let _d = g.add(kernel("d", 1e6), &[c]);
-        let e = g.add(kernel("e", 1e6), &[]);
+        let a = g.add(kernel("a", 1e6), &[]).unwrap();
+        let _b = g.add(kernel("b", 1e6), &[a]).unwrap();
+        let c = g.add(kernel("c", 1e6), &[]).unwrap();
+        let _d = g.add(kernel("d", 1e6), &[c]).unwrap();
+        let e = g.add(kernel("e", 1e6), &[]).unwrap();
         let comps = g.components();
         assert_eq!(comps.len(), 3);
         assert_eq!(comps[0], vec![0, 1]);
@@ -285,8 +343,8 @@ mod tests {
         let mut dev = Device::new(DeviceProps::p100());
         let p = pool(&mut dev, 1);
         let mut g = KernelGraph::new();
-        g.add(kernel("a", 1e6), &[]);
-        g.add(kernel("b", 1e6), &[]);
+        g.add(kernel("a", 1e6), &[]).unwrap();
+        g.add(kernel("b", 1e6), &[]).unwrap();
         let ids = g.launch(&mut dev, &p);
         dev.run();
         let (_, ae) = dev.kernel_span(ids[0]).unwrap();
@@ -300,10 +358,10 @@ mod tests {
             let mut dev = Device::new(DeviceProps::titan_xp());
             let p = pool(&mut dev, 3);
             let mut g = KernelGraph::new();
-            let a = g.add(kernel("a", 3e6), &[]);
-            let b = g.add(kernel("b", 7e6), &[a]);
-            let c = g.add(kernel("c", 2e6), &[a]);
-            let _d = g.add(kernel("d", 4e6), &[b, c]);
+            let a = g.add(kernel("a", 3e6), &[]).unwrap();
+            let b = g.add(kernel("b", 7e6), &[a]).unwrap();
+            let c = g.add(kernel("c", 2e6), &[a]).unwrap();
+            let _d = g.add(kernel("d", 4e6), &[b, c]).unwrap();
             g.launch(&mut dev, &p);
             dev.run();
             dev.trace()

@@ -86,8 +86,8 @@ pub mod tracker;
 
 pub use analyzer::{ConcurrencyPlan, KernelAnalyzer, KernelProfile};
 pub use cost::CostBook;
-pub use framework::{ExecMode, ExecReport, Glp4nn, LayerKey, Phase};
-pub use graph::KernelGraph;
+pub use framework::{ExecMode, ExecReport, Glp4nn, Glp4nnError, LayerKey, Phase};
+pub use graph::{GraphError, KernelGraph};
 pub use optim::OptimConfig;
-pub use streams::StreamManager;
+pub use streams::{StreamError, StreamManager};
 pub use tracker::ResourceTracker;

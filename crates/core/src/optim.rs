@@ -89,6 +89,8 @@ pub fn fuse_pair(a: &KernelDesc, b: &KernelDesc) -> KernelDesc {
         launch,
         cost: KernelCost::new(total_flops / blocks as f64, total_bytes / blocks as f64),
         tag: a.tag,
+        // The fused launch performs both kernels' accesses.
+        accesses: gpu_sim::AccessSet::union(&a.accesses, &b.accesses),
     }
 }
 

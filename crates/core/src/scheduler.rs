@@ -12,9 +12,10 @@
 use crate::analyzer::KernelAnalyzer;
 use crate::framework::{ExecMode, ExecReport, LayerKey};
 use crate::optim::{fuse_group, reorder_groups, OptimConfig};
-use crate::streams::StreamManager;
+use crate::streams::{StreamError, StreamManager};
 use crate::tracker::ResourceTracker;
 use gpu_sim::{Device, KernelDesc};
+use sanitizer::{DispatchPlan, Sanitizer};
 
 /// Per-GPU runtime scheduler.
 #[derive(Debug)]
@@ -44,6 +45,13 @@ impl RuntimeScheduler {
     /// with profiling enabled, then feeds the tracker's parsed profiles to
     /// the analyzer. Later executions dispatch groups round-robin over a
     /// pool of `C_out` streams.
+    ///
+    /// With a [`Sanitizer`] attached, the exact schedule about to execute
+    /// is validated first (chunk-region disjointness + plan hazards), and
+    /// in full mode the executed command trace is replayed afterwards.
+    // One parameter per Fig. 5 module plus the optional sanitizer; a
+    // params struct would just rename the modules.
+    #[allow(clippy::too_many_arguments)]
     pub fn execute(
         &mut self,
         dev: &mut Device,
@@ -52,7 +60,8 @@ impl RuntimeScheduler {
         streams: &StreamManager,
         key: &LayerKey,
         groups: Vec<Vec<KernelDesc>>,
-    ) -> ExecReport {
+        mut sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<ExecReport, StreamError> {
         let key_str = key.cache_key();
         let kernels: usize = groups.iter().map(Vec::len).sum();
         let t0 = dev.now();
@@ -78,7 +87,11 @@ impl RuntimeScheduler {
                 groups = reorder_groups(groups, &plan.class_durations, overhead);
             }
             // Concurrent path: round-robin groups over the pool.
-            let pool = streams.pool(dev, self.gpu, plan.streams as usize);
+            let pool = streams.pool(dev, self.gpu, plan.streams as usize)?;
+            if let Some(san) = sanitizer.as_deref_mut() {
+                san.check_chunks(&key_str, &groups);
+                san.check_plan(&DispatchPlan::round_robin(&key_str, &groups, pool.len()));
+            }
             for (i, group) in groups.into_iter().enumerate() {
                 let sid = pool[i % pool.len()];
                 for k in group {
@@ -88,18 +101,26 @@ impl RuntimeScheduler {
             // Inter-layer synchronization (paper §2.1): the layer ends with
             // a device-wide barrier.
             let end = dev.run();
-            return ExecReport {
+            if let Some(san) = sanitizer {
+                san.check_device(dev);
+            }
+            return Ok(ExecReport {
                 mode: ExecMode::Concurrent {
                     streams: plan.streams,
                 },
                 elapsed_ns: end - t0,
                 kernels,
-            };
+            });
         }
 
         // Profiling path: default stream, tracker enabled. Skip any trace
         // entries produced since the last profiling window (kernels of
         // layers GLP4NN does not manage) before turning recording on.
+        if let Some(san) = sanitizer.as_deref_mut() {
+            // Chunks must be disjoint whatever the dispatch; the serial
+            // profiling plan itself is trivially race-free.
+            san.check_chunks(&key_str, &groups);
+        }
         tracker.ingest(self.gpu, dev.trace());
         tracker.enable(self.gpu);
         let sid = streams.default_stream(dev);
@@ -109,15 +130,18 @@ impl RuntimeScheduler {
             }
         }
         let end = dev.run();
+        if let Some(san) = sanitizer {
+            san.check_device(dev);
+        }
         tracker.ingest(self.gpu, dev.trace());
         tracker.disable(self.gpu);
         let profiles = tracker.parse(self.gpu);
         analyzer.analyze(&key_str, &profiles);
-        ExecReport {
+        Ok(ExecReport {
             mode: ExecMode::Profiling,
             elapsed_ns: end - t0,
             kernels,
-        }
+        })
     }
 }
 
@@ -161,12 +185,32 @@ mod tests {
         let mut sched = RuntimeScheduler::new(0);
         let key = LayerKey::forward("net", "conv1");
 
-        let r1 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(8));
+        let r1 = sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &key,
+                groups(8),
+                None,
+            )
+            .unwrap();
         assert_eq!(r1.mode, ExecMode::Profiling);
         assert_eq!(r1.kernels, 16);
         assert!(analyzer.plan_for(&key.cache_key()).is_some());
 
-        let r2 = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(8));
+        let r2 = sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &key,
+                groups(8),
+                None,
+            )
+            .unwrap();
         match r2.mode {
             ExecMode::Concurrent { streams: s } => assert!(s >= 1),
             m => panic!("expected concurrent, got {m:?}"),
@@ -178,22 +222,28 @@ mod tests {
         let (mut dev, tracker, mut analyzer, streams) = setup();
         let mut sched = RuntimeScheduler::new(0);
         let key = LayerKey::forward("net", "conv1");
-        let r1 = sched.execute(
-            &mut dev,
-            &tracker,
-            &mut analyzer,
-            &streams,
-            &key,
-            groups(16),
-        );
-        let r2 = sched.execute(
-            &mut dev,
-            &tracker,
-            &mut analyzer,
-            &streams,
-            &key,
-            groups(16),
-        );
+        let r1 = sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &key,
+                groups(16),
+                None,
+            )
+            .unwrap();
+        let r2 = sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &key,
+                groups(16),
+                None,
+            )
+            .unwrap();
         assert!(
             r2.elapsed_ns < r1.elapsed_ns,
             "concurrent {} vs profiled/serial {}",
@@ -207,9 +257,29 @@ mod tests {
         let (mut dev, tracker, mut analyzer, streams) = setup();
         let mut sched = RuntimeScheduler::new(0);
         let key = LayerKey::forward("net", "conv1");
-        sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(4));
+        sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &key,
+                groups(4),
+                None,
+            )
+            .unwrap();
         let trace_before = dev.trace().len();
-        sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &key, groups(4));
+        sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &key,
+                groups(4),
+                None,
+            )
+            .unwrap();
         // For each tag, im2col must end before its sgemm starts.
         let new = &dev.trace()[trace_before..];
         for tag in 0..4u64 {
@@ -238,13 +308,31 @@ mod tests {
         let k2 = LayerKey::forward("net", "conv2");
         assert_eq!(
             sched
-                .execute(&mut dev, &tracker, &mut analyzer, &streams, &k1, groups(2))
+                .execute(
+                    &mut dev,
+                    &tracker,
+                    &mut analyzer,
+                    &streams,
+                    &k1,
+                    groups(2),
+                    None
+                )
+                .unwrap()
                 .mode,
             ExecMode::Profiling
         );
         assert_eq!(
             sched
-                .execute(&mut dev, &tracker, &mut analyzer, &streams, &k2, groups(2))
+                .execute(
+                    &mut dev,
+                    &tracker,
+                    &mut analyzer,
+                    &streams,
+                    &k2,
+                    groups(2),
+                    None
+                )
+                .unwrap()
                 .mode,
             ExecMode::Profiling
         );
@@ -257,8 +345,28 @@ mod tests {
         let mut sched = RuntimeScheduler::new(0);
         let kf = LayerKey::forward("net", "conv1");
         let kb = LayerKey::backward("net", "conv1");
-        sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &kf, groups(2));
-        let r = sched.execute(&mut dev, &tracker, &mut analyzer, &streams, &kb, groups(2));
+        sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &kf,
+                groups(2),
+                None,
+            )
+            .unwrap();
+        let r = sched
+            .execute(
+                &mut dev,
+                &tracker,
+                &mut analyzer,
+                &streams,
+                &kb,
+                groups(2),
+                None,
+            )
+            .unwrap();
         assert_eq!(r.mode, ExecMode::Profiling);
     }
 }

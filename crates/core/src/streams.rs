@@ -12,6 +12,31 @@
 use gpu_sim::{Device, StreamId};
 use parking_lot::Mutex;
 
+/// Error from stream-manager operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// A GPU index outside the managed range was requested.
+    UnknownGpu {
+        /// The requested GPU index.
+        gpu: usize,
+        /// How many GPUs the manager was built for.
+        num_gpus: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::UnknownGpu { gpu, num_gpus } => write!(
+                f,
+                "unknown GPU index {gpu}: stream manager holds {num_gpus} pool(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
 /// Shared stream manager: one pool per GPU.
 #[derive(Debug)]
 pub struct StreamManager {
@@ -32,19 +57,31 @@ impl StreamManager {
     }
 
     /// Current pool size on `gpu`.
-    pub fn pool_size(&self, gpu: usize) -> usize {
-        self.pools.lock()[gpu].len()
+    pub fn pool_size(&self, gpu: usize) -> Result<usize, StreamError> {
+        let pools = self.pools.lock();
+        pools.get(gpu).map(Vec::len).ok_or(StreamError::UnknownGpu {
+            gpu,
+            num_gpus: pools.len(),
+        })
     }
 
     /// Ensure the pool on `gpu` holds at least `n` streams (creating them
     /// on `dev` as needed) and return the first `n` of them.
-    pub fn pool(&self, dev: &mut Device, gpu: usize, n: usize) -> Vec<StreamId> {
+    pub fn pool(
+        &self,
+        dev: &mut Device,
+        gpu: usize,
+        n: usize,
+    ) -> Result<Vec<StreamId>, StreamError> {
         let mut pools = self.pools.lock();
-        let pool = &mut pools[gpu];
+        let num_gpus = pools.len();
+        let pool = pools
+            .get_mut(gpu)
+            .ok_or(StreamError::UnknownGpu { gpu, num_gpus })?;
         while pool.len() < n {
             pool.push(dev.create_stream());
         }
-        pool[..n].to_vec()
+        Ok(pool[..n].to_vec())
     }
 
     /// The synchronization stream (CUDA default stream).
@@ -62,14 +99,14 @@ mod tests {
     fn pool_grows_monotonically_and_reuses() {
         let mut dev = Device::new(DeviceProps::p100());
         let mgr = StreamManager::new(1);
-        let a = mgr.pool(&mut dev, 0, 3);
+        let a = mgr.pool(&mut dev, 0, 3).unwrap();
         assert_eq!(a.len(), 3);
-        assert_eq!(mgr.pool_size(0), 3);
-        let b = mgr.pool(&mut dev, 0, 2);
+        assert_eq!(mgr.pool_size(0).unwrap(), 3);
+        let b = mgr.pool(&mut dev, 0, 2).unwrap();
         assert_eq!(b, a[..2].to_vec(), "smaller requests reuse the pool");
-        let c = mgr.pool(&mut dev, 0, 5);
+        let c = mgr.pool(&mut dev, 0, 5).unwrap();
         assert_eq!(c[..3], a[..], "growth preserves existing streams");
-        assert_eq!(mgr.pool_size(0), 5);
+        assert_eq!(mgr.pool_size(0).unwrap(), 5);
         // Device: default stream + 5 pool streams.
         assert_eq!(dev.num_streams(), 6);
     }
@@ -78,7 +115,7 @@ mod tests {
     fn pool_streams_are_not_the_default() {
         let mut dev = Device::new(DeviceProps::k40c());
         let mgr = StreamManager::new(1);
-        for s in mgr.pool(&mut dev, 0, 4) {
+        for s in mgr.pool(&mut dev, 0, 4).unwrap() {
             assert!(!s.is_default());
         }
         assert!(mgr.default_stream(&dev).is_default());
@@ -94,12 +131,12 @@ mod tests {
         let requests = [4usize, 2, 7, 1, 7, 3, 6];
         let mut largest = 0;
         for n in requests {
-            let pool = mgr.pool(&mut dev, 0, n);
+            let pool = mgr.pool(&mut dev, 0, n).unwrap();
             assert_eq!(pool.len(), n);
             largest = largest.max(n);
-            assert_eq!(mgr.pool_size(0), largest);
+            assert_eq!(mgr.pool_size(0).unwrap(), largest);
         }
-        assert_eq!(mgr.pool_size(0), 7);
+        assert_eq!(mgr.pool_size(0).unwrap(), 7);
         assert_eq!(dev.num_streams(), 8, "default stream + 7 pool streams");
     }
 
@@ -112,20 +149,43 @@ mod tests {
         // only its own request history.
         for (gpu, n) in [(0usize, 2usize), (1, 3), (0, 4), (1, 1), (0, 3), (1, 5)] {
             if gpu == 0 {
-                mgr.pool(&mut d0, 0, n);
+                mgr.pool(&mut d0, 0, n).unwrap();
             } else {
-                mgr.pool(&mut d1, 1, n);
+                mgr.pool(&mut d1, 1, n).unwrap();
             }
         }
-        assert_eq!(mgr.pool_size(0), 4);
-        assert_eq!(mgr.pool_size(1), 5);
+        assert_eq!(mgr.pool_size(0).unwrap(), 4);
+        assert_eq!(mgr.pool_size(1).unwrap(), 5);
         // Stream IDs on each device stay dense and device-local.
         assert_eq!(d0.num_streams(), 5);
         assert_eq!(d1.num_streams(), 6);
-        let p0 = mgr.pool(&mut d0, 0, 4);
-        let p1 = mgr.pool(&mut d1, 1, 5);
+        let p0 = mgr.pool(&mut d0, 0, 4).unwrap();
+        let p1 = mgr.pool(&mut d1, 1, 5).unwrap();
         assert!(p0.iter().all(|s| !s.is_default()));
         assert!(p1.iter().all(|s| !s.is_default()));
+    }
+
+    #[test]
+    fn unknown_gpu_is_a_typed_error() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let mgr = StreamManager::new(2);
+        let err = mgr.pool(&mut dev, 5, 3).unwrap_err();
+        assert_eq!(
+            err,
+            StreamError::UnknownGpu {
+                gpu: 5,
+                num_gpus: 2
+            }
+        );
+        assert!(err.to_string().contains("unknown GPU index 5"));
+        assert_eq!(
+            mgr.pool_size(2),
+            Err(StreamError::UnknownGpu {
+                gpu: 2,
+                num_gpus: 2
+            })
+        );
+        assert_eq!(dev.num_streams(), 1, "failed requests create no streams");
     }
 
     #[test]
@@ -133,10 +193,10 @@ mod tests {
         let mut d0 = Device::new(DeviceProps::k40c());
         let mut d1 = Device::new(DeviceProps::p100());
         let mgr = StreamManager::new(2);
-        mgr.pool(&mut d0, 0, 2);
-        mgr.pool(&mut d1, 1, 4);
-        assert_eq!(mgr.pool_size(0), 2);
-        assert_eq!(mgr.pool_size(1), 4);
+        mgr.pool(&mut d0, 0, 2).unwrap();
+        mgr.pool(&mut d1, 1, 4).unwrap();
+        assert_eq!(mgr.pool_size(0).unwrap(), 2);
+        assert_eq!(mgr.pool_size(1).unwrap(), 4);
         assert_eq!(mgr.num_gpus(), 2);
     }
 }

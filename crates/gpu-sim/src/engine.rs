@@ -28,7 +28,7 @@ use crate::device::DeviceProps;
 use crate::kernel::{KernelDesc, KernelId};
 use crate::sm::{BlockFootprint, SmState};
 use crate::stats::DeviceStats;
-use crate::stream::{Command, EventId, EventState, StreamId, StreamState};
+use crate::stream::{CmdRecord, Command, EventId, EventState, StreamId, StreamState};
 use crate::timeline::KernelTrace;
 use crate::SimTime;
 use std::cmp::Reverse;
@@ -125,6 +125,7 @@ pub struct Device {
     heap: BinaryHeap<Reverse<Ev>>,
     seq: u64,
     trace: Vec<KernelTrace>,
+    cmd_log: Vec<CmdRecord>,
 }
 
 impl Device {
@@ -148,6 +149,7 @@ impl Device {
             heap: BinaryHeap::new(),
             seq: 0,
             trace: Vec::new(),
+            cmd_log: Vec::new(),
         }
     }
 
@@ -235,6 +237,7 @@ impl Device {
         if let Some(hook) = self.launch_hook.as_mut() {
             hook(&self.kernels[id.0 as usize].desc, stream, self.host_clock);
         }
+        self.cmd_log.push(CmdRecord::Launch { stream, kernel: id });
         self.streams[stream.0 as usize]
             .queue
             .push_back(Command::Launch(
@@ -255,6 +258,7 @@ impl Device {
     /// the stream completes.
     pub fn record_event(&mut self, stream: StreamId, event: EventId) {
         self.events[event.0 as usize] = EventState::Pending;
+        self.cmd_log.push(CmdRecord::RecordEvent { stream, event });
         self.streams[stream.0 as usize]
             .queue
             .push_back(Command::RecordEvent(event));
@@ -262,6 +266,7 @@ impl Device {
 
     /// Make `stream` wait for `event` before executing subsequent commands.
     pub fn wait_event(&mut self, stream: StreamId, event: EventId) {
+        self.cmd_log.push(CmdRecord::WaitEvent { stream, event });
         self.streams[stream.0 as usize]
             .queue
             .push_back(Command::WaitEvent(event));
@@ -289,6 +294,22 @@ impl Device {
     /// All kernel traces so far, in launch order.
     pub fn trace(&self) -> &[KernelTrace] {
         &self.trace
+    }
+
+    /// The driver command log: every host-issued launch / event record /
+    /// event wait in issue order, with [`CmdRecord::Sync`] markers where a
+    /// [`run`](Device::run) episode completed. The schedule sanitizer
+    /// replays this to reconstruct happens-before.
+    pub fn command_log(&self) -> &[CmdRecord] {
+        &self.cmd_log
+    }
+
+    /// Descriptor of a previously launched kernel.
+    ///
+    /// # Panics
+    /// Panics if `id` was not issued by this device.
+    pub fn kernel_desc(&self, id: KernelId) -> &KernelDesc {
+        &self.kernels[id.0 as usize].desc
     }
 
     /// Utilization statistics over everything simulated so far.
@@ -324,6 +345,9 @@ impl Device {
             self.streams.iter().all(|s| s.is_idle()),
             "heap drained with non-idle streams (unsatisfiable event wait?)"
         );
+        if self.cmd_log.last().is_some_and(|c| *c != CmdRecord::Sync) {
+            self.cmd_log.push(CmdRecord::Sync);
+        }
         self.clock
     }
 

@@ -153,6 +153,213 @@ impl KernelCost {
     }
 }
 
+/// Identifier of a logical device buffer (a blob's data or diff, a column
+/// workspace, a weight matrix...).
+///
+/// The simulator has no real memory, so buffers are pure names: a stable
+/// 64-bit id derived from a human-readable label. Kernels declare which
+/// byte ranges of which buffers they read and write ([`AccessSet`]); the
+/// schedule sanitizer uses these declarations to prove dispatch plans
+/// race-free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u64);
+
+fn buffer_labels() -> &'static std::sync::Mutex<std::collections::HashMap<u64, String>> {
+    static LABELS: std::sync::OnceLock<std::sync::Mutex<std::collections::HashMap<u64, String>>> =
+        std::sync::OnceLock::new();
+    LABELS.get_or_init(Default::default)
+}
+
+impl BufferId {
+    /// Stable id from a human-readable label (FNV-1a), remembering the
+    /// label so diagnostics can print it back.
+    pub fn from_label(label: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        buffer_labels()
+            .lock()
+            .expect("buffer label registry poisoned")
+            .entry(h)
+            .or_insert_with(|| label.to_string());
+        BufferId(h)
+    }
+
+    /// The label this id was created from, if any.
+    pub fn label(self) -> Option<String> {
+        buffer_labels()
+            .lock()
+            .expect("buffer label registry poisoned")
+            .get(&self.0)
+            .cloned()
+    }
+}
+
+impl std::fmt::Display for BufferId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.label() {
+            Some(l) => write!(f, "{l}"),
+            None => write!(f, "buf#{:016x}", self.0),
+        }
+    }
+}
+
+/// A half-open byte range `[start, end)` within a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ByteRange {
+    /// First byte covered.
+    pub start: u64,
+    /// One past the last byte covered.
+    pub end: u64,
+}
+
+impl ByteRange {
+    /// Range `[start, end)`.
+    pub fn new(start: u64, end: u64) -> Self {
+        debug_assert!(start <= end, "byte range start {start} > end {end}");
+        ByteRange { start, end }
+    }
+
+    /// Range of `len` bytes starting at `start`.
+    pub fn span(start: u64, len: u64) -> Self {
+        ByteRange {
+            start,
+            end: start + len,
+        }
+    }
+
+    /// Number of bytes covered.
+    pub fn len(self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range covers no bytes.
+    pub fn is_empty(self) -> bool {
+        self.start >= self.end
+    }
+
+    /// The intersection with `other`, if non-empty.
+    pub fn intersect(self, other: ByteRange) -> Option<ByteRange> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start < end).then_some(ByteRange { start, end })
+    }
+}
+
+impl std::fmt::Display for ByteRange {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// One declared access: a byte range of a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Buffer touched.
+    pub buffer: BufferId,
+    /// Byte range touched.
+    pub range: ByteRange,
+}
+
+/// A conflict between two [`AccessSet`]s: an overlapping byte range with
+/// at least one side writing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessConflict {
+    /// Buffer both sides touch.
+    pub buffer: BufferId,
+    /// The overlapping byte range.
+    pub overlap: ByteRange,
+    /// Whether the first access set writes the overlap.
+    pub first_writes: bool,
+    /// Whether the second access set writes the overlap.
+    pub second_writes: bool,
+}
+
+impl AccessConflict {
+    /// Short hazard label: `write/write`, `write/read`, or `read/write`.
+    pub fn hazard(&self) -> &'static str {
+        match (self.first_writes, self.second_writes) {
+            (true, true) => "write/write",
+            (true, false) => "write/read",
+            _ => "read/write",
+        }
+    }
+}
+
+/// Declared memory access set of a kernel: which byte ranges of which
+/// buffers it reads and writes.
+///
+/// Declarations are a contract, not a simulation of memory: the sanitizer
+/// trusts them to prove chunk regions disjoint and to detect races, the
+/// same way CUDA stream-capture validators trust annotated buffers.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AccessSet {
+    /// Regions read.
+    pub reads: Vec<MemAccess>,
+    /// Regions written.
+    pub writes: Vec<MemAccess>,
+}
+
+impl AccessSet {
+    /// Whether nothing is declared.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty() && self.writes.is_empty()
+    }
+
+    /// The first conflict (overlap with ≥ 1 write) between `self` and
+    /// `other`, if any. Write/write conflicts are reported in preference
+    /// to write/read ones.
+    pub fn conflict_with(&self, other: &AccessSet) -> Option<AccessConflict> {
+        let overlap = |a: &[MemAccess], b: &[MemAccess]| -> Option<(BufferId, ByteRange)> {
+            for x in a {
+                for y in b {
+                    if x.buffer == y.buffer {
+                        if let Some(o) = x.range.intersect(y.range) {
+                            return Some((x.buffer, o));
+                        }
+                    }
+                }
+            }
+            None
+        };
+        if let Some((buffer, o)) = overlap(&self.writes, &other.writes) {
+            return Some(AccessConflict {
+                buffer,
+                overlap: o,
+                first_writes: true,
+                second_writes: true,
+            });
+        }
+        if let Some((buffer, o)) = overlap(&self.writes, &other.reads) {
+            return Some(AccessConflict {
+                buffer,
+                overlap: o,
+                first_writes: true,
+                second_writes: false,
+            });
+        }
+        if let Some((buffer, o)) = overlap(&self.reads, &other.writes) {
+            return Some(AccessConflict {
+                buffer,
+                overlap: o,
+                first_writes: false,
+                second_writes: true,
+            });
+        }
+        None
+    }
+
+    /// Union of two access sets (used when kernels are fused).
+    pub fn union(a: &AccessSet, b: &AccessSet) -> AccessSet {
+        let mut out = a.clone();
+        out.reads.extend(b.reads.iter().copied());
+        out.writes.extend(b.writes.iter().copied());
+        out
+    }
+}
+
 /// Identifier of a launched kernel instance within a [`crate::Device`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct KernelId(pub(crate) u64);
@@ -176,22 +383,44 @@ pub struct KernelDesc {
     /// Opaque correlation tag (layer id, batch-chunk index...) carried into
     /// the timeline and the profiler records.
     pub tag: u64,
+    /// Declared memory access set (empty = undeclared; the sanitizer can
+    /// only reason about kernels that declare their accesses).
+    pub accesses: AccessSet,
 }
 
 impl KernelDesc {
-    /// Build a kernel description with tag 0.
+    /// Build a kernel description with tag 0 and no declared accesses.
     pub fn new(name: &str, launch: LaunchConfig, cost: KernelCost) -> Self {
         KernelDesc {
             name: name.to_string(),
             launch,
             cost,
             tag: 0,
+            accesses: AccessSet::default(),
         }
     }
 
     /// Attach a correlation tag.
     pub fn with_tag(mut self, tag: u64) -> Self {
         self.tag = tag;
+        self
+    }
+
+    /// Declare that the kernel reads `range` of `buffer`.
+    pub fn reads(mut self, buffer: BufferId, range: ByteRange) -> Self {
+        self.accesses.reads.push(MemAccess { buffer, range });
+        self
+    }
+
+    /// Declare that the kernel writes `range` of `buffer`.
+    pub fn writes(mut self, buffer: BufferId, range: ByteRange) -> Self {
+        self.accesses.writes.push(MemAccess { buffer, range });
+        self
+    }
+
+    /// Replace the whole declared access set.
+    pub fn with_accesses(mut self, accesses: AccessSet) -> Self {
+        self.accesses = accesses;
         self
     }
 }
@@ -259,6 +488,86 @@ mod tests {
         let dev = DeviceProps::p100();
         let t = KernelCost::new(0.0, 0.0).nominal_block_time_ns(&dev, 128);
         assert!(t >= 500);
+    }
+
+    #[test]
+    fn byte_ranges_intersect_half_open() {
+        let a = ByteRange::new(0, 100);
+        let b = ByteRange::span(100, 50);
+        assert_eq!(a.intersect(b), None, "touching ranges do not overlap");
+        let c = ByteRange::new(64, 128);
+        assert_eq!(a.intersect(c), Some(ByteRange::new(64, 100)));
+        assert_eq!(c.len(), 64);
+        assert!(!c.is_empty());
+        assert_eq!(c.to_string(), "[64, 128)");
+    }
+
+    #[test]
+    fn buffer_ids_are_stable_and_labelled() {
+        let a = BufferId::from_label("conv1/out");
+        let b = BufferId::from_label("conv1/out");
+        assert_eq!(a, b);
+        assert_ne!(a, BufferId::from_label("conv1/in"));
+        assert_eq!(a.label().as_deref(), Some("conv1/out"));
+        assert_eq!(a.to_string(), "conv1/out");
+    }
+
+    #[test]
+    fn access_sets_report_conflicts_with_a_write() {
+        let buf = BufferId::from_label("b");
+        let w0 = AccessSet {
+            reads: vec![],
+            writes: vec![MemAccess {
+                buffer: buf,
+                range: ByteRange::new(0, 64),
+            }],
+        };
+        let w1 = AccessSet {
+            reads: vec![],
+            writes: vec![MemAccess {
+                buffer: buf,
+                range: ByteRange::new(32, 96),
+            }],
+        };
+        let r1 = AccessSet {
+            reads: vec![MemAccess {
+                buffer: buf,
+                range: ByteRange::new(32, 96),
+            }],
+            writes: vec![],
+        };
+        let c = w0.conflict_with(&w1).unwrap();
+        assert_eq!(c.hazard(), "write/write");
+        assert_eq!(c.overlap, ByteRange::new(32, 64));
+        assert_eq!(w0.conflict_with(&r1).unwrap().hazard(), "write/read");
+        assert_eq!(r1.conflict_with(&w0).unwrap().hazard(), "read/write");
+        assert_eq!(r1.conflict_with(&r1), None, "read/read never conflicts");
+        // Disjoint writes of the same buffer do not conflict.
+        let w2 = AccessSet {
+            reads: vec![],
+            writes: vec![MemAccess {
+                buffer: buf,
+                range: ByteRange::new(64, 128),
+            }],
+        };
+        assert_eq!(w0.conflict_with(&w2), None);
+    }
+
+    #[test]
+    fn kernel_desc_access_builders_accumulate() {
+        let buf = BufferId::from_label("x");
+        let k = KernelDesc::new(
+            "k",
+            LaunchConfig::new(Dim3::linear(1), Dim3::linear(64), 16, 0),
+            KernelCost::new(1.0, 1.0),
+        )
+        .reads(buf, ByteRange::new(0, 8))
+        .writes(buf, ByteRange::new(8, 16));
+        assert_eq!(k.accesses.reads.len(), 1);
+        assert_eq!(k.accesses.writes.len(), 1);
+        let merged = AccessSet::union(&k.accesses, &k.accesses);
+        assert_eq!(merged.reads.len(), 2);
+        assert_eq!(merged.writes.len(), 2);
     }
 
     #[test]

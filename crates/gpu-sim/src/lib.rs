@@ -57,10 +57,13 @@ pub mod timeline;
 
 pub use device::{Arch, ArchFeatures, DeviceProps};
 pub use engine::{Device, LaunchHook};
-pub use kernel::{Dim3, KernelCost, KernelDesc, KernelId, LaunchConfig};
+pub use kernel::{
+    AccessConflict, AccessSet, BufferId, ByteRange, Dim3, KernelCost, KernelDesc, KernelId,
+    LaunchConfig, MemAccess,
+};
 pub use occupancy::OccupancyResult;
 pub use stats::{stats_by_kernel, DeviceStats, KernelClassStats};
-pub use stream::{EventId, StreamId};
+pub use stream::{CmdRecord, EventId, StreamId};
 pub use timeline::{KernelTrace, Timeline};
 
 /// Simulated time in nanoseconds.

@@ -51,6 +51,41 @@ pub enum Command {
     WaitEvent(EventId),
 }
 
+/// One entry of the device command log: every host-issued stream command
+/// in issue order, plus [`Sync`](CmdRecord::Sync) markers for completed
+/// device-wide barriers ([`crate::Device::run`]).
+///
+/// The log is what a CUPTI-style activity API would expose as the *driver
+/// command trace*; the schedule sanitizer replays it with vector clocks to
+/// reconstruct the happens-before order of an execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmdRecord {
+    /// A kernel launch was enqueued on `stream`.
+    Launch {
+        /// Target stream.
+        stream: StreamId,
+        /// Kernel instance id (index into the device's kernel table).
+        kernel: KernelId,
+    },
+    /// An event record was enqueued on `stream`.
+    RecordEvent {
+        /// Recording stream.
+        stream: StreamId,
+        /// Event recorded.
+        event: EventId,
+    },
+    /// A wait on `event` was enqueued on `stream`.
+    WaitEvent {
+        /// Waiting stream.
+        stream: StreamId,
+        /// Event awaited.
+        event: EventId,
+    },
+    /// A [`crate::Device::run`] episode completed: everything logged before
+    /// this marker happened before everything logged after it.
+    Sync,
+}
+
 /// Runtime state of one stream.
 #[derive(Debug, Default)]
 pub struct StreamState {

@@ -45,4 +45,4 @@ pub mod model;
 pub mod simplex;
 
 pub use branch::{solve, BranchStats};
-pub use model::{Model, Sense, Solution, SolveError, VarId, VarKind};
+pub use model::{Model, Sense, Solution, SolveError, VarId, VarKind, VarOutOfRange};

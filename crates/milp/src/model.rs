@@ -102,6 +102,28 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// A [`VarId`] that does not belong to the solved model (e.g. a handle
+/// from a different [`Model`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VarOutOfRange {
+    /// The offending variable index.
+    pub var: usize,
+    /// Number of variables in the solution.
+    pub num_vars: usize,
+}
+
+impl fmt::Display for VarOutOfRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "variable index {} out of range: solution has {} variable(s)",
+            self.var, self.num_vars
+        )
+    }
+}
+
+impl std::error::Error for VarOutOfRange {}
+
 /// An optimal (or LP-relaxation) assignment.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Solution {
@@ -113,13 +135,34 @@ pub struct Solution {
 
 impl Solution {
     /// Value assigned to `var`.
+    ///
+    /// # Panics
+    /// Panics if `var` is not from the solved model; schedulers on hot
+    /// paths should prefer [`try_value`](Self::try_value).
     pub fn value(&self, var: VarId) -> f64 {
         self.values[var.0]
     }
 
     /// Value of `var` rounded to the nearest integer (for integer vars).
+    ///
+    /// # Panics
+    /// Panics if `var` is not from the solved model; schedulers on hot
+    /// paths should prefer [`try_int_value`](Self::try_int_value).
     pub fn int_value(&self, var: VarId) -> i64 {
         self.values[var.0].round() as i64
+    }
+
+    /// Value assigned to `var`, rejecting foreign handles.
+    pub fn try_value(&self, var: VarId) -> Result<f64, VarOutOfRange> {
+        self.values.get(var.0).copied().ok_or(VarOutOfRange {
+            var: var.0,
+            num_vars: self.values.len(),
+        })
+    }
+
+    /// Rounded integer value of `var`, rejecting foreign handles.
+    pub fn try_int_value(&self, var: VarId) -> Result<i64, VarOutOfRange> {
+        self.try_value(var).map(|v| v.round() as i64)
     }
 }
 
@@ -377,5 +420,24 @@ mod tests {
     fn error_display() {
         assert_eq!(SolveError::Infeasible.to_string(), "problem is infeasible");
         assert!(SolveError::Invalid("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn try_value_rejects_foreign_var_ids() {
+        let sol = Solution {
+            objective: 1.0,
+            values: vec![2.0, 3.6],
+        };
+        assert_eq!(sol.try_value(VarId(1)), Ok(3.6));
+        assert_eq!(sol.try_int_value(VarId(1)), Ok(4));
+        let err = sol.try_value(VarId(5)).unwrap_err();
+        assert_eq!(
+            err,
+            VarOutOfRange {
+                var: 5,
+                num_vars: 2
+            }
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 }

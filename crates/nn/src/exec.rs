@@ -2,6 +2,7 @@
 
 use glp4nn::{ExecMode, ExecReport, Glp4nn, LayerKey, Phase};
 use gpu_sim::{Device, DeviceProps, KernelDesc, SimTime, StreamId};
+use sanitizer::{DispatchPlan, SanitizeMode, Sanitizer};
 
 /// How a layer's kernel groups are dispatched to the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +56,10 @@ pub struct ExecCtx {
     ///
     /// [`take_timings`]: ExecCtx::take_timings
     pub timings: Vec<LayerTiming>,
+    /// Schedule sanitizer (off by default; see [`sanitize`]).
+    ///
+    /// [`sanitize`]: ExecCtx::sanitize
+    pub sanitizer: Sanitizer,
     fixed_pool: Vec<StreamId>,
 }
 
@@ -89,6 +94,7 @@ impl ExecCtx {
             batch_parallel_all: false,
             net_name: String::new(),
             timings: Vec::new(),
+            sanitizer: Sanitizer::default(),
             fixed_pool: Vec::new(),
         }
     }
@@ -96,6 +102,16 @@ impl ExecCtx {
     /// Disable real CPU math (timing-only experiments).
     pub fn timing_only(mut self) -> Self {
         self.compute = false;
+        self
+    }
+
+    /// Enable schedule sanitizing: `PlanOnly` statically validates every
+    /// dispatch plan (chunk-region disjointness, hazards, wait cycles)
+    /// before launch; `Full` additionally replays the executed command
+    /// trace with the happens-before checker. Diagnostics accumulate in
+    /// [`sanitizer`](ExecCtx::sanitizer).
+    pub fn sanitize(mut self, mode: SanitizeMode) -> Self {
+        self.sanitizer = Sanitizer::new(mode);
         self
     }
 
@@ -115,6 +131,12 @@ impl ExecCtx {
         phase: Phase,
         groups: Vec<Vec<KernelDesc>>,
     ) -> ExecReport {
+        // Static checks for the self-dispatched modes; the Glp4nn path
+        // validates inside the runtime scheduler, against the schedule it
+        // actually builds (post fusion/reordering).
+        if self.sanitizer.is_enabled() && !matches!(self.mode, DispatchMode::Glp4nn) {
+            self.sanitizer.check_chunks(layer, &groups);
+        }
         let report = match self.mode {
             DispatchMode::Naive => self.run_on_streams(&[self.device.default_stream()], groups),
             DispatchMode::FixedStreams(n) => {
@@ -136,13 +158,18 @@ impl ExecCtx {
                     phase,
                     chunks: groups.len(),
                 };
+                let san = self.sanitizer.is_enabled().then_some(&mut self.sanitizer);
                 let glp = self
                     .glp
                     .as_mut()
                     .expect("DispatchMode::Glp4nn requires an attached framework");
-                glp.execute(&mut self.device, self.gpu, &key, groups)
+                glp.try_execute(&mut self.device, self.gpu, &key, groups, san)
+                    .unwrap_or_else(|e| panic!("{e}"))
             }
         };
+        if self.sanitizer.is_full() {
+            self.sanitizer.check_device(&self.device);
+        }
         self.timings.push(LayerTiming {
             layer: layer.to_string(),
             phase,
@@ -167,6 +194,9 @@ impl ExecCtx {
         kernels: Vec<KernelDesc>,
     ) -> ExecReport {
         let report = self.run_on_streams(&[self.device.default_stream()], vec![kernels]);
+        if self.sanitizer.is_full() {
+            self.sanitizer.check_device(&self.device);
+        }
         self.timings.push(LayerTiming {
             layer: layer.to_string(),
             phase,
@@ -177,6 +207,10 @@ impl ExecCtx {
     }
 
     fn run_on_streams(&mut self, pool: &[StreamId], groups: Vec<Vec<KernelDesc>>) -> ExecReport {
+        if self.sanitizer.is_enabled() {
+            self.sanitizer
+                .check_plan(&DispatchPlan::round_robin("dispatch", &groups, pool.len()));
+        }
         let t0 = self.device.now();
         let kernels: usize = groups.iter().map(Vec::len).sum();
         for (i, group) in groups.into_iter().enumerate() {

@@ -47,10 +47,22 @@ impl Layer for ConcatLayer {
     }
 
     fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
+        let total = top[0].count();
+        let reads: Vec<(String, usize)> = bottom
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (format!("in{i}"), b.count()))
+            .collect();
+        let read_refs: Vec<(&str, usize)> = reads.iter().map(|(s, n)| (s.as_str(), *n)).collect();
         ctx.dispatch_single(
             &self.name,
             Phase::Forward,
-            kernels::elemwise_kernel("concat", top[0].count(), 0.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("concat", total, 0.0),
+                &self.name,
+                &read_refs,
+                &[("out", total)],
+            ),
         );
         if !ctx.compute {
             return;
@@ -72,10 +84,22 @@ impl Layer for ConcatLayer {
     }
 
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
+        let total = top[0].count();
+        let writes: Vec<(String, usize)> = bottom
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (format!("din{i}"), b.count()))
+            .collect();
+        let write_refs: Vec<(&str, usize)> = writes.iter().map(|(s, n)| (s.as_str(), *n)).collect();
         ctx.dispatch_single(
             &self.name,
             Phase::Backward,
-            kernels::elemwise_kernel("concat_bwd", top[0].count(), 0.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("concat_bwd", total, 0.0),
+                &self.name,
+                &[("dout", total)],
+                &write_refs,
+            ),
         );
         if !ctx.compute {
             return;

@@ -49,10 +49,17 @@ impl Layer for ContrastiveLossLayer {
     }
 
     fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
+        let fc = bottom[0].count();
+        let nb = bottom[0].num();
         ctx.dispatch_single(
             &self.name,
             Phase::Forward,
-            kernels::elemwise_kernel("contrastive", bottom[0].count(), 3.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("contrastive", fc, 3.0),
+                &self.name,
+                &[("feat_a", fc), ("feat_b", fc), ("sim", nb)],
+                &[("diff", fc), ("dist", nb), ("loss", 1)],
+            ),
         );
         if !ctx.compute {
             return;
@@ -82,10 +89,17 @@ impl Layer for ContrastiveLossLayer {
     }
 
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
+        let fc = bottom[0].count();
+        let nb = bottom[0].num();
         ctx.dispatch_single(
             &self.name,
             Phase::Backward,
-            kernels::elemwise_kernel("contrastive_bwd", bottom[0].count(), 2.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("contrastive_bwd", fc, 2.0),
+                &self.name,
+                &[("diff", fc), ("dist", nb), ("sim", nb), ("dloss", 1)],
+                &[("dfeat_a", fc), ("dfeat_b", fc)],
+            ),
         );
         if !ctx.compute {
             return;

@@ -15,7 +15,9 @@
 use crate::exec::ExecCtx;
 use crate::layer::Layer;
 use crate::layers::kernels;
+use crate::layers::kernels::{full_range, sample_range};
 use glp4nn::Phase;
+use gpu_sim::BufferId;
 use tensor::gemm::{sgemm, Transpose};
 use tensor::im2col::{col2im, im2col, ConvGeometry};
 use tensor::pool::num_workers;
@@ -98,62 +100,101 @@ impl ConvLayer {
         self.cfg.kernel == 1 && self.cfg.stride == 1 && self.cfg.pad == 0
     }
 
-    /// Per-sample forward kernel group.
+    /// Buffer id for one of this layer's named buffers.
+    fn buf(&self, which: &str) -> BufferId {
+        BufferId::from_label(&format!("{}/{which}", self.name))
+    }
+
+    /// Per-sample forward kernel group. Each kernel declares the byte
+    /// ranges it touches, so the schedule sanitizer can prove chunks of
+    /// distinct samples write disjoint regions.
     fn forward_group(&self, tag: u64) -> Vec<gpu_sim::KernelDesc> {
+        let i = tag;
+        let in_r = sample_range(i, self.ci * self.ih * self.iw);
+        let col_r = sample_range(i, self.k_dim() * self.ohw());
+        let out_r = sample_range(i, self.cfg.num_output * self.ohw());
         let mut g = Vec::with_capacity(3);
         if !self.is_1x1() {
-            g.push(kernels::im2col_kernel(
-                self.ci,
-                self.oh,
-                self.ow,
-                self.cfg.kernel,
-                tag,
-            ));
+            g.push(
+                kernels::im2col_kernel(self.ci, self.oh, self.ow, self.cfg.kernel, tag)
+                    .reads(self.buf("in"), in_r)
+                    .writes(self.buf("col"), col_r),
+            );
         }
-        g.push(kernels::conv_gemm_kernel(
-            self.cfg.num_output,
-            self.k_dim(),
-            self.ohw(),
-            tag,
-        ));
-        g.push(kernels::bias_kernel(self.cfg.num_output, self.ohw(), tag));
+        // For 1×1/s1/p0 the GEMM reads the input image directly.
+        let (gemm_src, gemm_src_r) = if self.is_1x1() {
+            (self.buf("in"), in_r)
+        } else {
+            (self.buf("col"), col_r)
+        };
+        g.push(
+            kernels::conv_gemm_kernel(self.cfg.num_output, self.k_dim(), self.ohw(), tag)
+                .reads(
+                    self.buf("w"),
+                    full_range(self.cfg.num_output * self.k_dim()),
+                )
+                .reads(gemm_src, gemm_src_r)
+                .writes(self.buf("out"), out_r),
+        );
+        g.push(
+            kernels::bias_kernel(self.cfg.num_output, self.ohw(), tag)
+                .reads(self.buf("bias"), full_range(self.cfg.num_output))
+                .reads(self.buf("out"), out_r)
+                .writes(self.buf("out"), out_r),
+        );
         g
     }
 
-    /// Per-sample backward kernel group.
+    /// Per-sample backward kernel group, with declared accesses. The
+    /// weight gradient is accumulated into per-chunk partial buffers
+    /// (`dw.part`, one slot per sample chunk) and reduced on the host in
+    /// fixed order, so concurrent chunks never write the same region.
     fn backward_group(&self, tag: u64) -> Vec<gpu_sim::KernelDesc> {
+        let i = tag;
+        let co = self.cfg.num_output;
+        let k = self.k_dim();
+        let in_r = sample_range(i, self.ci * self.ih * self.iw);
+        let col_r = sample_range(i, k * self.ohw());
+        let dout_r = sample_range(i, co * self.ohw());
+        let dw_part_r = sample_range(i, co * k);
         let mut g = Vec::with_capacity(4);
         if !self.is_1x1() {
-            g.push(kernels::im2col_kernel(
-                self.ci,
-                self.oh,
-                self.ow,
-                self.cfg.kernel,
-                tag,
-            ));
+            g.push(
+                kernels::im2col_kernel(self.ci, self.oh, self.ow, self.cfg.kernel, tag)
+                    .reads(self.buf("in"), in_r)
+                    .writes(self.buf("col"), col_r),
+            );
         }
-        // dW = dTop · col^T
-        g.push(kernels::conv_gemm_kernel(
-            self.cfg.num_output,
-            self.ohw(),
-            self.k_dim(),
-            tag,
-        ));
-        // dcol = W^T · dTop
-        g.push(kernels::conv_gemm_kernel(
-            self.k_dim(),
-            self.cfg.num_output,
-            self.ohw(),
-            tag,
-        ));
+        let (col_src, col_src_r) = if self.is_1x1() {
+            (self.buf("in"), in_r)
+        } else {
+            (self.buf("col"), col_r)
+        };
+        // dW_partial = dTop · col^T
+        g.push(
+            kernels::conv_gemm_kernel(co, self.ohw(), k, tag)
+                .reads(self.buf("dout"), dout_r)
+                .reads(col_src, col_src_r)
+                .writes(self.buf("dw.part"), dw_part_r),
+        );
+        // dcol = W^T · dTop; for 1×1 the column gradient *is* dIn.
+        let (dcol_dst, dcol_dst_r) = if self.is_1x1() {
+            (self.buf("din"), in_r)
+        } else {
+            (self.buf("dcol"), col_r)
+        };
+        g.push(
+            kernels::conv_gemm_kernel(k, co, self.ohw(), tag)
+                .reads(self.buf("w"), full_range(co * k))
+                .reads(self.buf("dout"), dout_r)
+                .writes(dcol_dst, dcol_dst_r),
+        );
         if !self.is_1x1() {
-            g.push(kernels::col2im_kernel(
-                self.ci,
-                self.ih,
-                self.iw,
-                self.cfg.kernel,
-                tag,
-            ));
+            g.push(
+                kernels::col2im_kernel(self.ci, self.ih, self.iw, self.cfg.kernel, tag)
+                    .reads(self.buf("dcol"), col_r)
+                    .writes(self.buf("din"), in_r),
+            );
         }
         g
     }
@@ -571,6 +612,43 @@ mod tests {
                 (numeric - analytic[xi]).abs() < 0.05 * analytic[xi].abs().max(1.0),
                 "dX[{xi}]: numeric {numeric} vs analytic {}",
                 analytic[xi]
+            );
+        }
+    }
+
+    #[test]
+    fn per_sample_groups_declare_disjoint_writes() {
+        let l = ConvLayer::new(
+            "conv1",
+            ConvConfig {
+                num_output: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            1,
+        );
+        // Fake a reshape so geometry fields are populated.
+        let mut l = l;
+        let bottom = Blob::nchw(3, 2, 8, 8);
+        let mut top = vec![Blob::empty()];
+        l.reshape(&[&bottom], &mut top);
+
+        for mk in [ConvLayer::forward_group, ConvLayer::backward_group] {
+            let a = mk(&l, 0);
+            let b = mk(&l, 1);
+            let mut union_a = gpu_sim::AccessSet::default();
+            let mut union_b = gpu_sim::AccessSet::default();
+            for kd in &a {
+                assert!(!kd.accesses.is_empty(), "{} declares accesses", kd.name);
+                union_a = gpu_sim::AccessSet::union(&union_a, &kd.accesses);
+            }
+            for kd in &b {
+                union_b = gpu_sim::AccessSet::union(&union_b, &kd.accesses);
+            }
+            assert!(
+                union_a.conflict_with(&union_b).is_none(),
+                "sample chains 0 and 1 must touch disjoint regions"
             );
         }
     }

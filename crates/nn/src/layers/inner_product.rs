@@ -58,10 +58,18 @@ impl Layer for InnerProductLayer {
     fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
         let b = bottom[0];
         let n = b.num();
+        let in_elems = n * self.input_dim;
+        let out_elems = n * self.num_output;
+        let w_elems = self.num_output * self.input_dim;
         ctx.dispatch_single(
             &self.name,
             Phase::Forward,
-            kernels::fc_gemm_kernel(n, self.num_output, self.input_dim),
+            kernels::declare_io(
+                kernels::fc_gemm_kernel(n, self.num_output, self.input_dim),
+                &self.name,
+                &[("in", in_elems), ("w", w_elems), ("bias", self.num_output)],
+                &[("out", out_elems)],
+            ),
         );
         if !ctx.compute {
             return;
@@ -90,12 +98,25 @@ impl Layer for InnerProductLayer {
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
         let t = top[0];
         let n = t.num();
+        let in_elems = n * self.input_dim;
+        let out_elems = n * self.num_output;
+        let w_elems = self.num_output * self.input_dim;
         ctx.dispatch_batch(
             &self.name,
             Phase::Backward,
             vec![
-                kernels::fc_gemm_kernel(self.num_output, self.input_dim, n),
-                kernels::fc_gemm_kernel(n, self.input_dim, self.num_output),
+                kernels::declare_io(
+                    kernels::fc_gemm_kernel(self.num_output, self.input_dim, n),
+                    &self.name,
+                    &[("dout", out_elems), ("in", in_elems)],
+                    &[("dw", w_elems)],
+                ),
+                kernels::declare_io(
+                    kernels::fc_gemm_kernel(n, self.input_dim, self.num_output),
+                    &self.name,
+                    &[("dout", out_elems), ("w", w_elems)],
+                    &[("din", in_elems)],
+                ),
             ],
         );
         if !ctx.compute {

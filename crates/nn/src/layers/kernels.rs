@@ -7,7 +7,53 @@
 //! the register pressure the paper reports (33 registers). Costs are
 //! roofline inputs: FLOPs and DRAM bytes per block.
 
-use gpu_sim::{Dim3, KernelCost, KernelDesc, LaunchConfig};
+use gpu_sim::{ByteRange, Dim3, KernelCost, KernelDesc, LaunchConfig};
+
+/// Bytes per f32 element, for declared access ranges.
+pub const F32_BYTES: u64 = 4;
+
+/// The byte range sample `i` occupies in a batch-major buffer whose
+/// per-sample stride is `stride_elems` f32 elements. This is the region a
+/// batch-split chunk kernel declares — chunks of distinct samples are
+/// disjoint by construction, which is exactly what the schedule sanitizer
+/// proves before concurrent dispatch.
+pub fn sample_range(i: u64, stride_elems: usize) -> ByteRange {
+    let stride = stride_elems as u64 * F32_BYTES;
+    ByteRange::span(i * stride, stride)
+}
+
+/// The byte range of a whole `elems`-element f32 buffer (weights, whole-
+/// batch activations).
+pub fn full_range(elems: usize) -> ByteRange {
+    ByteRange::span(0, elems as u64 * F32_BYTES)
+}
+
+/// Annotate a whole-batch kernel with full-buffer accesses on the layer's
+/// named buffers: each entry is `(buffer suffix, element count)` and the
+/// buffer id is derived from `"{layer}/{suffix}"`. Used by layers whose
+/// kernels touch entire blobs (ReLU, LRN, FC, loss...), where a coarse
+/// whole-buffer declaration is exact.
+pub fn declare_io(
+    kd: KernelDesc,
+    layer: &str,
+    reads: &[(&str, usize)],
+    writes: &[(&str, usize)],
+) -> KernelDesc {
+    let mut kd = kd;
+    for (suffix, elems) in reads {
+        kd = kd.reads(
+            gpu_sim::BufferId::from_label(&format!("{layer}/{suffix}")),
+            full_range(*elems),
+        );
+    }
+    for (suffix, elems) in writes {
+        kd = kd.writes(
+            gpu_sim::BufferId::from_label(&format!("{layer}/{suffix}")),
+            full_range(*elems),
+        );
+    }
+    kd
+}
 
 /// GEMM tile edge (output elements per block edge) — cuBLAS-style 64×64
 /// register-tiled blocks, so grids stay modest like the `sgemm_*` kernels
@@ -188,6 +234,19 @@ mod tests {
         assert_eq!(conv_gemm_kernel(1, 1, 1, 0).launch.grid.count(), 1);
         assert_eq!(bias_kernel(1, 1, 0).launch.grid.x, 1);
         assert_eq!(pool_kernel("pool", 1, 2).launch.grid.x, 1);
+    }
+
+    #[test]
+    fn sample_ranges_are_pairwise_disjoint() {
+        let stride = 96 * 3025;
+        let a = sample_range(0, stride);
+        let b = sample_range(1, stride);
+        let c = sample_range(2, stride);
+        assert_eq!(a.intersect(b), None);
+        assert_eq!(b.intersect(c), None);
+        assert_eq!(a.len(), stride as u64 * F32_BYTES);
+        assert_eq!(b.start, a.end, "samples tile the buffer");
+        assert!(full_range(3 * stride).intersect(c).is_some());
     }
 
     #[test]

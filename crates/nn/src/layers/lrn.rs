@@ -55,12 +55,23 @@ impl Layer for LrnLayer {
 
     fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
         let b = bottom[0];
+        let n = b.count();
         ctx.dispatch_batch(
             &self.name,
             Phase::Forward,
             vec![
-                kernels::elemwise_kernel("lrn_fill_scale", b.count(), self.size as f64),
-                kernels::elemwise_kernel("lrn_output", b.count(), 2.0),
+                kernels::declare_io(
+                    kernels::elemwise_kernel("lrn_fill_scale", n, self.size as f64),
+                    &self.name,
+                    &[("in", n)],
+                    &[("scale", n)],
+                ),
+                kernels::declare_io(
+                    kernels::elemwise_kernel("lrn_output", n, 2.0),
+                    &self.name,
+                    &[("in", n), ("scale", n)],
+                    &[("out", n)],
+                ),
             ],
         );
         if !ctx.compute {
@@ -94,10 +105,16 @@ impl Layer for LrnLayer {
 
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
         let t = top[0];
+        let n = t.count();
         ctx.dispatch_single(
             &self.name,
             Phase::Backward,
-            kernels::elemwise_kernel("lrn_bwd", t.count(), self.size as f64 * 2.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("lrn_bwd", n, self.size as f64 * 2.0),
+                &self.name,
+                &[("in", n), ("out", n), ("scale", n), ("dout", n)],
+                &[("din", n)],
+            ),
         );
         if !ctx.compute {
             return;

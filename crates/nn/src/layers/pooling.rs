@@ -6,7 +6,9 @@
 use crate::exec::ExecCtx;
 use crate::layer::Layer;
 use crate::layers::kernels;
+use crate::layers::kernels::{full_range, sample_range};
 use glp4nn::Phase;
+use gpu_sim::BufferId;
 use tensor::im2col::conv_out_dim;
 use tensor::Blob;
 
@@ -76,19 +78,32 @@ impl Layer for PoolingLayer {
         let (n, c, ih, iw) = (b.num(), b.channels(), b.height(), b.width());
         let (oh, ow) = (self.oh, self.ow);
 
+        let in_buf = BufferId::from_label(&format!("{}/in", self.name));
+        let out_buf = BufferId::from_label(&format!("{}/out", self.name));
+        let idx_buf = BufferId::from_label(&format!("{}/argmax", self.name));
         if ctx.batch_parallel_all {
             // Extension (paper §3.3.1): pooling processes samples
             // independently too, so it can use the same per-sample group
-            // dispatch as convolutions.
+            // dispatch as convolutions. Each chunk declares its sample's
+            // regions so the sanitizer can prove chunks disjoint.
             let groups: Vec<_> = (0..n as u64)
-                .map(|i| vec![kernels::pool_kernel("pool", c * oh * ow, self.kernel).with_tag(i)])
+                .map(|i| {
+                    vec![kernels::pool_kernel("pool", c * oh * ow, self.kernel)
+                        .with_tag(i)
+                        .reads(in_buf, sample_range(i, c * ih * iw))
+                        .writes(out_buf, sample_range(i, c * oh * ow))
+                        .writes(idx_buf, sample_range(i, c * oh * ow))]
+                })
                 .collect();
             ctx.dispatch_groups(&self.name, Phase::Forward, groups);
         } else {
             ctx.dispatch_single(
                 &self.name,
                 Phase::Forward,
-                kernels::pool_kernel("pool", n * c * oh * ow, self.kernel),
+                kernels::pool_kernel("pool", n * c * oh * ow, self.kernel)
+                    .reads(in_buf, full_range(n * c * ih * iw))
+                    .writes(out_buf, full_range(n * c * oh * ow))
+                    .writes(idx_buf, full_range(n * c * oh * ow)),
             );
         }
         if !ctx.compute {
@@ -143,10 +158,24 @@ impl Layer for PoolingLayer {
 
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
         let t = top[0];
+        let out_elems = t.count();
+        let in_elems = bottom[0].count();
         ctx.dispatch_single(
             &self.name,
             Phase::Backward,
-            kernels::pool_kernel("pool_bwd", t.count(), self.kernel),
+            kernels::pool_kernel("pool_bwd", out_elems, self.kernel)
+                .reads(
+                    BufferId::from_label(&format!("{}/dout", self.name)),
+                    full_range(out_elems),
+                )
+                .reads(
+                    BufferId::from_label(&format!("{}/argmax", self.name)),
+                    full_range(out_elems),
+                )
+                .writes(
+                    BufferId::from_label(&format!("{}/din", self.name)),
+                    full_range(in_elems),
+                ),
         );
         if !ctx.compute {
             return;

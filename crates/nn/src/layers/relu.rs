@@ -45,10 +45,16 @@ impl Layer for ReluLayer {
     }
 
     fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
+        let n = bottom[0].count();
         ctx.dispatch_single(
             &self.name,
             Phase::Forward,
-            kernels::elemwise_kernel("relu", bottom[0].count(), 1.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("relu", n, 1.0),
+                &self.name,
+                &[("in", n)],
+                &[("out", n)],
+            ),
         );
         if !ctx.compute {
             return;
@@ -58,10 +64,16 @@ impl Layer for ReluLayer {
     }
 
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
+        let n = top[0].count();
         ctx.dispatch_single(
             &self.name,
             Phase::Backward,
-            kernels::elemwise_kernel("relu_bwd", top[0].count(), 1.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("relu_bwd", n, 1.0),
+                &self.name,
+                &[("in", n), ("dout", n)],
+                &[("din", n)],
+            ),
         );
         if !ctx.compute {
             return;

@@ -52,10 +52,16 @@ impl Layer for SoftmaxLossLayer {
     fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
         let scores = bottom[0];
         let n = scores.num();
+        let sc = scores.count();
         ctx.dispatch_single(
             &self.name,
             Phase::Forward,
-            kernels::elemwise_kernel("softmax_loss", scores.count(), 4.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("softmax_loss", sc, 4.0),
+                &self.name,
+                &[("scores", sc), ("labels", n)],
+                &[("probs", sc), ("loss", 1)],
+            ),
         );
         if !ctx.compute {
             return;
@@ -68,10 +74,16 @@ impl Layer for SoftmaxLossLayer {
     }
 
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
+        let sc = bottom[0].count();
         ctx.dispatch_single(
             &self.name,
             Phase::Backward,
-            kernels::elemwise_kernel("softmax_loss_bwd", bottom[0].count(), 1.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("softmax_loss_bwd", sc, 1.0),
+                &self.name,
+                &[("probs", sc), ("labels", bottom[0].num()), ("dloss", 1)],
+                &[("dscores", sc)],
+            ),
         );
         if !ctx.compute {
             return;

@@ -41,10 +41,18 @@ impl Layer for SplitLayer {
     }
 
     fn forward(&mut self, ctx: &mut ExecCtx, bottom: &[&Blob], top: &mut [Blob]) {
+        let n = bottom[0].count();
+        let writes: Vec<(String, usize)> = (0..top.len()).map(|i| (format!("out{i}"), n)).collect();
+        let write_refs: Vec<(&str, usize)> = writes.iter().map(|(s, c)| (s.as_str(), *c)).collect();
         ctx.dispatch_single(
             &self.name,
             Phase::Forward,
-            kernels::elemwise_kernel("split", bottom[0].count() * top.len(), 0.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("split", n * top.len(), 0.0),
+                &self.name,
+                &[("in", n)],
+                &write_refs,
+            ),
         );
         if !ctx.compute {
             return;
@@ -55,10 +63,18 @@ impl Layer for SplitLayer {
     }
 
     fn backward(&mut self, ctx: &mut ExecCtx, top: &[&Blob], bottom: &mut [Blob]) {
+        let n = bottom[0].count();
+        let reads: Vec<(String, usize)> = (0..top.len()).map(|i| (format!("dout{i}"), n)).collect();
+        let read_refs: Vec<(&str, usize)> = reads.iter().map(|(s, c)| (s.as_str(), *c)).collect();
         ctx.dispatch_single(
             &self.name,
             Phase::Backward,
-            kernels::elemwise_kernel("split_bwd", bottom[0].count() * top.len(), 1.0),
+            kernels::declare_io(
+                kernels::elemwise_kernel("split_bwd", n * top.len(), 1.0),
+                &self.name,
+                &read_refs,
+                &[("din", n)],
+            ),
         );
         if !ctx.compute {
             return;

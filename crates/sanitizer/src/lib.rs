@@ -1,0 +1,371 @@
+#![warn(missing_docs)]
+
+//! Stream-schedule sanitizer for the simulated CUDA runtime.
+//!
+//! GLP4NN's headline claim is *convergence invariance*: re-scheduling a
+//! layer's batch-split kernels onto concurrent streams never changes the
+//! math, because chunk output regions are disjoint and every true
+//! dependency is preserved. This crate turns that claim from an argument
+//! into a machine-checked property, in two layers:
+//!
+//! - **Static plan checking** ([`plan::DispatchPlan`]): given the schedule
+//!   a dispatcher is about to execute — kernels, target streams, declared
+//!   dependencies — prove chunk output regions pairwise disjoint, flag
+//!   RAW/WAW/WAR hazards not covered by a declared dep or stream order,
+//!   and detect event-wait cycles (deadlock). All before anything runs.
+//! - **Dynamic happens-before checking** ([`hb`]): replay the device's
+//!   recorded command trace (launch, event record/wait, synchronize) with
+//!   per-stream vector clocks and report any pair of overlapping accesses
+//!   (at least one write) unordered by happens-before.
+//!
+//! Both layers consume the declared memory access sets on
+//! [`gpu_sim::KernelDesc`] ([`gpu_sim::AccessSet`]); kernels that declare
+//! nothing are skipped, so instrumentation can be adopted incrementally.
+//!
+//! The [`Sanitizer`] accumulates [`Diagnostic`]s across checks; a clean
+//! run keeps [`Sanitizer::reports`] empty.
+
+pub mod hb;
+pub mod plan;
+pub mod report;
+
+pub use plan::{DispatchPlan, PlanNode};
+pub use report::{ConflictSite, Diagnostic, DiagnosticKind, KernelRef};
+
+use gpu_sim::{Device, KernelDesc};
+
+/// How much checking the runtime should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SanitizeMode {
+    /// No checking; zero overhead (the default).
+    #[default]
+    Off,
+    /// Static checks only: chunk disjointness and dispatch-plan validation
+    /// before launch.
+    PlanOnly,
+    /// Static checks plus dynamic happens-before replay of the executed
+    /// command trace.
+    Full,
+}
+
+/// Counters describing how much checking actually happened — so tests can
+/// assert the sanitizer ran, not just that it stayed silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanitizerStats {
+    /// Chunk pairs compared for output-region disjointness.
+    pub chunk_pairs: u64,
+    /// Kernel pairs compared by the static plan checker.
+    pub plan_pairs: u64,
+    /// Plans validated.
+    pub plans_checked: u64,
+    /// Launches replayed by the dynamic checker.
+    pub trace_kernels: u64,
+    /// Launch pairs compared by the dynamic checker.
+    pub trace_pairs: u64,
+}
+
+/// Accumulates checks and their diagnostics over a run.
+#[derive(Debug, Default)]
+pub struct Sanitizer {
+    mode: SanitizeMode,
+    reports: Vec<Diagnostic>,
+    stats: SanitizerStats,
+    /// How much of the device command log has already been replayed.
+    log_cursor: usize,
+}
+
+impl Sanitizer {
+    /// Sanitizer in the given mode.
+    pub fn new(mode: SanitizeMode) -> Self {
+        Sanitizer {
+            mode,
+            ..Default::default()
+        }
+    }
+
+    /// The configured mode.
+    pub fn mode(&self) -> SanitizeMode {
+        self.mode
+    }
+
+    /// Whether any checking is on.
+    pub fn is_enabled(&self) -> bool {
+        self.mode != SanitizeMode::Off
+    }
+
+    /// Whether dynamic (trace) checking is on.
+    pub fn is_full(&self) -> bool {
+        self.mode == SanitizeMode::Full
+    }
+
+    /// Static check: the batch-split chunks of one layer must have
+    /// pairwise non-conflicting access sets (disjoint output regions), or
+    /// dispatching them concurrently is not convergence-invariant. Each
+    /// group is one chunk's kernel chain; its access set is the union over
+    /// the chain.
+    pub fn check_chunks(&mut self, context: &str, groups: &[Vec<KernelDesc>]) {
+        if !self.is_enabled() {
+            return;
+        }
+        let unions: Vec<gpu_sim::AccessSet> = groups
+            .iter()
+            .map(|g| {
+                g.iter().fold(gpu_sim::AccessSet::default(), |acc, k| {
+                    gpu_sim::AccessSet::union(&acc, &k.accesses)
+                })
+            })
+            .collect();
+        for i in 0..unions.len() {
+            if unions[i].is_empty() {
+                continue;
+            }
+            for j in (i + 1)..unions.len() {
+                if unions[j].is_empty() {
+                    continue;
+                }
+                self.stats.chunk_pairs += 1;
+                if let Some(c) = unions[i].conflict_with(&unions[j]) {
+                    let chunk_ref = |g: usize| {
+                        groups[g].first().map(|k| KernelRef {
+                            name: k.name.clone(),
+                            tag: k.tag,
+                            stream: None,
+                            index: g,
+                        })
+                    };
+                    self.reports.push(Diagnostic {
+                        kind: DiagnosticKind::OverlappingChunkRegions,
+                        context: context.to_string(),
+                        first: chunk_ref(i),
+                        second: chunk_ref(j),
+                        site: Some(ConflictSite {
+                            buffer: c.buffer,
+                            overlap: c.overlap,
+                            hazard: c.hazard(),
+                        }),
+                        detail: format!(
+                            "chunks {i} and {j} are dispatched concurrently but their \
+                             declared regions overlap"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Static check of a dispatch plan: out-of-range deps, event-wait
+    /// cycles, and hazards not covered by declared deps or stream order.
+    pub fn check_plan(&mut self, plan: &DispatchPlan) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.stats.plans_checked += 1;
+        self.stats.plan_pairs += plan.check(&mut self.reports);
+    }
+
+    /// Static check of a kernel DAG (stream-agnostic): every pair of
+    /// conflicting kernels must be ordered by the dependency closure —
+    /// otherwise *some* legal schedule races. Pass the graph as
+    /// `(nodes, deps)` slices (e.g. `KernelGraph::nodes()` +
+    /// `KernelGraph::all_deps()`).
+    pub fn check_graph(&mut self, context: &str, nodes: &[KernelDesc], deps: &[Vec<usize>]) {
+        if !self.is_enabled() {
+            return;
+        }
+        // A graph is a plan with every node on its own stream: the only
+        // ordering left is the declared dependency closure.
+        let mut plan = DispatchPlan::new(context);
+        for (i, k) in nodes.iter().enumerate() {
+            let d = deps.get(i).map(Vec::as_slice).unwrap_or(&[]);
+            plan.add(k.clone(), i, d);
+        }
+        self.check_plan(&plan);
+    }
+
+    /// Dynamic check: replay the portion of `dev`'s command log recorded
+    /// since the last call, with vector clocks, reporting unordered
+    /// conflicting launches and stalled (deadlocked) replays.
+    pub fn check_device(&mut self, dev: &Device) {
+        if !self.is_full() {
+            return;
+        }
+        let log = dev.command_log();
+        if self.log_cursor >= log.len() {
+            return;
+        }
+        // Only replay whole sync-delimited segments plus the (possibly
+        // unfinished) tail; the cursor always advances to the log end, and
+        // commands before the cursor are already ordered against commands
+        // after it by the completed run() they precede.
+        let (kernels, pairs) = hb::check_log(
+            dev,
+            &log[self.log_cursor..],
+            "device-trace",
+            &mut self.reports,
+        );
+        self.log_cursor = log.len();
+        self.stats.trace_kernels += kernels;
+        self.stats.trace_pairs += pairs;
+    }
+
+    /// Diagnostics accumulated so far.
+    pub fn reports(&self) -> &[Diagnostic] {
+        &self.reports
+    }
+
+    /// Drain accumulated diagnostics.
+    pub fn take_reports(&mut self) -> Vec<Diagnostic> {
+        std::mem::take(&mut self.reports)
+    }
+
+    /// Checking counters.
+    pub fn stats(&self) -> SanitizerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BufferId, ByteRange, DeviceProps, Dim3, KernelCost, LaunchConfig};
+
+    fn kernel(name: &str) -> KernelDesc {
+        KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(4), Dim3::linear(128), 32, 0),
+            KernelCost::new(1.0e5, 1.0e4),
+        )
+    }
+
+    #[test]
+    fn off_mode_checks_nothing() {
+        let buf = BufferId::from_label("lib/a");
+        let mut san = Sanitizer::new(SanitizeMode::Off);
+        let groups = vec![
+            vec![kernel("w").writes(buf, ByteRange::new(0, 64))],
+            vec![kernel("w").writes(buf, ByteRange::new(0, 64))],
+        ];
+        san.check_chunks("layer", &groups);
+        assert!(!san.is_enabled());
+        assert_eq!(san.reports(), &[]);
+        assert_eq!(san.stats().chunk_pairs, 0);
+    }
+
+    #[test]
+    fn disjoint_chunks_pass_overlapping_chunks_fail() {
+        let buf = BufferId::from_label("lib/b");
+        let mut san = Sanitizer::new(SanitizeMode::PlanOnly);
+        let disjoint: Vec<Vec<KernelDesc>> = (0..3)
+            .map(|i| {
+                vec![kernel("chunk")
+                    .with_tag(i)
+                    .writes(buf, ByteRange::span(i * 100, 100))]
+            })
+            .collect();
+        san.check_chunks("net/conv/fwd", &disjoint);
+        assert_eq!(san.reports(), &[]);
+        assert_eq!(san.stats().chunk_pairs, 3);
+
+        let mut overlapped = disjoint.clone();
+        overlapped[2][0] = kernel("chunk")
+            .with_tag(2)
+            .writes(buf, ByteRange::new(150, 250));
+        san.check_chunks("net/conv/fwd", &overlapped);
+        assert_eq!(san.reports().len(), 1);
+        assert_eq!(
+            san.reports()[0].kind,
+            DiagnosticKind::OverlappingChunkRegions
+        );
+        let s = san.reports()[0].to_string();
+        assert!(s.contains("[150, 200)"), "{s}");
+    }
+
+    #[test]
+    fn chunk_union_covers_whole_chain() {
+        // The conflict is between the *second* kernels of each chain.
+        let buf = BufferId::from_label("lib/c");
+        let mut san = Sanitizer::new(SanitizeMode::PlanOnly);
+        let groups = vec![
+            vec![
+                kernel("a0"),
+                kernel("a1").writes(buf, ByteRange::new(0, 64)),
+            ],
+            vec![
+                kernel("b0"),
+                kernel("b1").writes(buf, ByteRange::new(32, 96)),
+            ],
+        ];
+        san.check_chunks("layer", &groups);
+        assert_eq!(san.reports().len(), 1);
+    }
+
+    #[test]
+    fn full_mode_replays_device_incrementally() {
+        let buf = BufferId::from_label("lib/d");
+        let mut dev = Device::new(DeviceProps::p100());
+        let s0 = dev.create_stream();
+        let s1 = dev.create_stream();
+        let mut san = Sanitizer::new(SanitizeMode::Full);
+
+        dev.launch(s0, kernel("w0").writes(buf, ByteRange::new(0, 64)));
+        dev.run();
+        san.check_device(&dev);
+        assert_eq!(san.reports(), &[]);
+        assert_eq!(san.stats().trace_kernels, 1);
+
+        // Second episode conflicts with the first only across the sync —
+        // which orders them, so still clean.
+        dev.launch(s1, kernel("w1").writes(buf, ByteRange::new(0, 64)));
+        dev.run();
+        san.check_device(&dev);
+        assert_eq!(san.reports(), &[]);
+        assert_eq!(san.stats().trace_kernels, 2);
+
+        // Now a real race within one episode.
+        dev.launch(s0, kernel("w2").writes(buf, ByteRange::new(0, 64)));
+        dev.launch(s1, kernel("w3").writes(buf, ByteRange::new(0, 64)));
+        dev.run();
+        san.check_device(&dev);
+        assert_eq!(san.reports().len(), 1);
+        assert_eq!(san.reports()[0].kind, DiagnosticKind::DataRace);
+    }
+
+    #[test]
+    fn plan_only_mode_skips_dynamic_checks() {
+        let mut dev = Device::new(DeviceProps::p100());
+        let s = dev.create_stream();
+        dev.launch(s, kernel("k"));
+        dev.run();
+        let mut san = Sanitizer::new(SanitizeMode::PlanOnly);
+        san.check_device(&dev);
+        assert_eq!(san.stats().trace_kernels, 0);
+    }
+
+    #[test]
+    fn graph_check_requires_deps_to_cover_conflicts() {
+        let buf = BufferId::from_label("lib/e");
+        let nodes = vec![
+            kernel("w").writes(buf, ByteRange::new(0, 64)),
+            kernel("r").reads(buf, ByteRange::new(0, 64)),
+        ];
+        let mut san = Sanitizer::new(SanitizeMode::PlanOnly);
+        san.check_graph("g", &nodes, &[vec![], vec![0]]);
+        assert_eq!(san.reports(), &[]);
+        san.check_graph("g", &nodes, &[vec![], vec![]]);
+        assert_eq!(san.reports().len(), 1);
+        assert_eq!(san.reports()[0].kind, DiagnosticKind::MissingDependency);
+    }
+
+    #[test]
+    fn take_reports_drains() {
+        let buf = BufferId::from_label("lib/f");
+        let mut san = Sanitizer::new(SanitizeMode::PlanOnly);
+        let groups = vec![
+            vec![kernel("w").writes(buf, ByteRange::new(0, 64))],
+            vec![kernel("w").writes(buf, ByteRange::new(0, 64))],
+        ];
+        san.check_chunks("layer", &groups);
+        assert_eq!(san.take_reports().len(), 1);
+        assert_eq!(san.reports(), &[]);
+    }
+}

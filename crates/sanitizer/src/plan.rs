@@ -1,0 +1,416 @@
+//! Dispatch plans and the static schedule checker.
+//!
+//! A [`DispatchPlan`] is the sanitizer's model of what a scheduler is
+//! *about* to do: an issue-ordered list of kernels, each with a target
+//! stream and a set of declared dependencies. Two constructors mirror the
+//! runtime's real dispatch policies ([`DispatchPlan::round_robin`] for the
+//! group scheduler, [`DispatchPlan::from_graph`] for the DAG scheduler), so
+//! the checker validates exactly the schedule that would execute — before
+//! anything executes.
+
+use crate::report::{ConflictSite, Diagnostic, DiagnosticKind, KernelRef};
+use gpu_sim::KernelDesc;
+
+/// One node of a dispatch plan.
+#[derive(Debug, Clone)]
+pub struct PlanNode {
+    /// The kernel to launch.
+    pub kernel: KernelDesc,
+    /// Target stream (pool-relative index).
+    pub stream: usize,
+    /// Plan-node indices whose completion this node waits for (cross-stream
+    /// deps become event record/wait pairs at dispatch time).
+    pub deps: Vec<usize>,
+}
+
+/// An issue-ordered schedule: which kernel goes to which stream, after
+/// which dependencies.
+#[derive(Debug, Clone, Default)]
+pub struct DispatchPlan {
+    nodes: Vec<PlanNode>,
+    /// Human-readable label for diagnostics (layer key, net name...).
+    pub label: String,
+}
+
+impl DispatchPlan {
+    /// Empty plan with a diagnostic label.
+    pub fn new(label: &str) -> Self {
+        DispatchPlan {
+            nodes: Vec::new(),
+            label: label.to_string(),
+        }
+    }
+
+    /// Append a node; returns its index. Dependency indices are *not*
+    /// validated here — [`check`](crate::Sanitizer::check_plan) flags
+    /// out-of-range deps and wait cycles, which is the point: fault
+    /// injection builds deliberately broken plans.
+    pub fn add(&mut self, kernel: KernelDesc, stream: usize, deps: &[usize]) -> usize {
+        self.nodes.push(PlanNode {
+            kernel,
+            stream,
+            deps: deps.to_vec(),
+        });
+        self.nodes.len() - 1
+    }
+
+    /// The plan the group scheduler would execute: group `i` is an ordered
+    /// chain on stream `i % num_streams`, with chain edges as deps.
+    pub fn round_robin(label: &str, groups: &[Vec<KernelDesc>], num_streams: usize) -> Self {
+        let num_streams = num_streams.max(1);
+        let mut plan = DispatchPlan::new(label);
+        for (g, group) in groups.iter().enumerate() {
+            let mut prev: Option<usize> = None;
+            for k in group {
+                let deps: Vec<usize> = prev.into_iter().collect();
+                prev = Some(plan.add(k.clone(), g % num_streams, &deps));
+            }
+        }
+        plan
+    }
+
+    /// The plan `KernelGraph::launch` would execute on a pool of
+    /// `pool_len` streams: nodes inherit the stream of their first
+    /// not-yet-continued dependency, otherwise take one round-robin.
+    ///
+    /// Takes the graph as `(nodes, deps)` slices so `core` can depend on
+    /// this crate without a cycle.
+    pub fn from_graph(
+        label: &str,
+        nodes: &[KernelDesc],
+        deps: &[Vec<usize>],
+        pool_len: usize,
+    ) -> Self {
+        let pool_len = pool_len.max(1);
+        let mut plan = DispatchPlan::new(label);
+        let mut stream_of: Vec<usize> = Vec::with_capacity(nodes.len());
+        let mut continued = vec![false; nodes.len()];
+        let mut rr = 0usize;
+        for (i, k) in nodes.iter().enumerate() {
+            let node_deps = deps.get(i).map(Vec::as_slice).unwrap_or(&[]);
+            let inherit = node_deps.iter().copied().find(|&d| d < i && !continued[d]);
+            let sid = match inherit {
+                Some(d) => {
+                    continued[d] = true;
+                    stream_of[d]
+                }
+                None => {
+                    let s = rr % pool_len;
+                    rr += 1;
+                    s
+                }
+            };
+            stream_of.push(sid);
+            plan.add(k.clone(), sid, node_deps);
+        }
+        plan
+    }
+
+    /// Plan nodes in issue order.
+    pub fn nodes(&self) -> &[PlanNode] {
+        &self.nodes
+    }
+
+    /// Number of kernels in the plan.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn kernel_ref(&self, i: usize) -> KernelRef {
+        let n = &self.nodes[i];
+        KernelRef {
+            name: n.kernel.name.clone(),
+            tag: n.kernel.tag,
+            stream: Some(n.stream as u32),
+            index: i,
+        }
+    }
+
+    /// Happens-before edges of the plan: `i → j` when `j` cannot start
+    /// before `i` completes. Stream FIFO order contributes edges between
+    /// issue-order neighbours on the same stream; declared deps contribute
+    /// the rest (cross-stream ones become event waits at dispatch).
+    fn hb_edges(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut last_on_stream: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            if let Some(&p) = last_on_stream.get(&node.stream) {
+                succ[p].push(i);
+            }
+            last_on_stream.insert(node.stream, i);
+            for &d in &node.deps {
+                if d < n && d != i {
+                    succ[d].push(i);
+                }
+            }
+        }
+        succ
+    }
+
+    /// Check the plan: out-of-range deps, event-wait cycles (deadlock),
+    /// and memory conflicts not covered by happens-before. Appends
+    /// diagnostics to `out`; returns the number of kernel pairs compared.
+    pub(crate) fn check(&self, out: &mut Vec<Diagnostic>) -> u64 {
+        let n = self.nodes.len();
+        for (i, node) in self.nodes.iter().enumerate() {
+            for &d in &node.deps {
+                if d >= n {
+                    out.push(Diagnostic {
+                        kind: DiagnosticKind::EventWaitCycle,
+                        context: self.label.clone(),
+                        first: Some(self.kernel_ref(i)),
+                        second: None,
+                        site: None,
+                        detail: format!(
+                            "node {i} waits on nonexistent node {d} (plan has {n} nodes): \
+                             the wait can never be satisfied"
+                        ),
+                    });
+                }
+            }
+        }
+
+        let succ = self.hb_edges();
+        // Cycle detection via Kahn's algorithm on the HB edge graph: any
+        // node left undrained sits on (or behind) a wait cycle.
+        let mut indeg = vec![0usize; n];
+        for outs in &succ {
+            for &j in outs {
+                indeg[j] += 1;
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut drained = 0usize;
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop_front() {
+            drained += 1;
+            order.push(i);
+            for &j in &succ[i] {
+                indeg[j] -= 1;
+                if indeg[j] == 0 {
+                    queue.push_back(j);
+                }
+            }
+        }
+        if drained < n {
+            let stuck: Vec<usize> = (0..n).filter(|&i| indeg[i] > 0).collect();
+            let named: Vec<String> = stuck
+                .iter()
+                .take(4)
+                .map(|&i| self.kernel_ref(i).to_string())
+                .collect();
+            out.push(Diagnostic {
+                kind: DiagnosticKind::EventWaitCycle,
+                context: self.label.clone(),
+                first: None,
+                second: None,
+                site: None,
+                detail: format!(
+                    "{} of {} kernels can never start: event waits form a cycle through {}",
+                    stuck.len(),
+                    n,
+                    named.join(", ")
+                ),
+            });
+            // Conflict analysis below needs an acyclic HB relation.
+            return 0;
+        }
+
+        // Transitive HB closure over the topological order, as bitsets.
+        let words = n.div_ceil(64);
+        let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+        for &i in order.iter().rev() {
+            for &j in &succ[i] {
+                let (row_j, row_i) = if i < j {
+                    let (a, b) = reach.split_at_mut(j);
+                    (&b[0], &mut a[i])
+                } else {
+                    let (a, b) = reach.split_at_mut(i);
+                    (&a[j], &mut b[0])
+                };
+                for w in 0..words {
+                    row_i[w] |= row_j[w];
+                }
+                reach[i][j / 64] |= 1 << (j % 64);
+            }
+        }
+        let ordered = |a: usize, b: usize| reach[a][b / 64] >> (b % 64) & 1 == 1;
+
+        let mut pairs = 0u64;
+        for i in 0..n {
+            if self.nodes[i].kernel.accesses.is_empty() {
+                continue;
+            }
+            for j in (i + 1)..n {
+                if self.nodes[j].kernel.accesses.is_empty() {
+                    continue;
+                }
+                pairs += 1;
+                if ordered(i, j) || ordered(j, i) {
+                    continue;
+                }
+                if let Some(c) = self.nodes[i]
+                    .kernel
+                    .accesses
+                    .conflict_with(&self.nodes[j].kernel.accesses)
+                {
+                    out.push(Diagnostic {
+                        kind: DiagnosticKind::MissingDependency,
+                        context: self.label.clone(),
+                        first: Some(self.kernel_ref(i)),
+                        second: Some(self.kernel_ref(j)),
+                        site: Some(ConflictSite {
+                            buffer: c.buffer,
+                            overlap: c.overlap,
+                            hazard: c.hazard(),
+                        }),
+                        detail: "no declared dependency or stream order covers this hazard"
+                            .to_string(),
+                    });
+                }
+            }
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{BufferId, ByteRange, Dim3, KernelCost, LaunchConfig};
+
+    fn kernel(name: &str) -> KernelDesc {
+        KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(8), Dim3::linear(128), 32, 0),
+            KernelCost::new(1.0e5, 1.0e4),
+        )
+    }
+
+    #[test]
+    fn round_robin_matches_group_scheduler_shape() {
+        let groups = vec![
+            vec![kernel("a0"), kernel("a1")],
+            vec![kernel("b0")],
+            vec![kernel("c0")],
+        ];
+        let p = DispatchPlan::round_robin("t", &groups, 2);
+        assert_eq!(p.len(), 4);
+        let streams: Vec<usize> = p.nodes().iter().map(|n| n.stream).collect();
+        assert_eq!(streams, vec![0, 0, 1, 0]);
+        assert_eq!(p.nodes()[1].deps, vec![0], "chain edge inside group");
+        assert!(p.nodes()[2].deps.is_empty());
+    }
+
+    #[test]
+    fn clean_plan_has_no_diagnostics() {
+        let buf = BufferId::from_label("plan/x");
+        let groups: Vec<Vec<KernelDesc>> = (0..4)
+            .map(|i| {
+                vec![kernel("k")
+                    .with_tag(i)
+                    .writes(buf, ByteRange::span(i * 64, 64))]
+            })
+            .collect();
+        let p = DispatchPlan::round_robin("t", &groups, 4);
+        let mut out = Vec::new();
+        let pairs = p.check(&mut out);
+        assert_eq!(out, vec![]);
+        assert_eq!(pairs, 6);
+    }
+
+    #[test]
+    fn unordered_conflict_is_a_missing_dependency() {
+        let buf = BufferId::from_label("plan/y");
+        let mut p = DispatchPlan::new("t");
+        p.add(kernel("w0").writes(buf, ByteRange::new(0, 128)), 0, &[]);
+        p.add(kernel("w1").writes(buf, ByteRange::new(64, 192)), 1, &[]);
+        let mut out = Vec::new();
+        p.check(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, DiagnosticKind::MissingDependency);
+        let s = out[0].to_string();
+        assert!(s.contains("write/write"), "{s}");
+        assert!(s.contains("[64, 128)"), "{s}");
+    }
+
+    #[test]
+    fn dep_or_same_stream_covers_the_hazard() {
+        let buf = BufferId::from_label("plan/z");
+        // Same conflict, covered by a declared dep.
+        let mut p = DispatchPlan::new("t");
+        let a = p.add(kernel("w0").writes(buf, ByteRange::new(0, 128)), 0, &[]);
+        p.add(kernel("w1").writes(buf, ByteRange::new(0, 128)), 1, &[a]);
+        let mut out = Vec::new();
+        p.check(&mut out);
+        assert_eq!(out, vec![]);
+        // Covered by stream FIFO order instead.
+        let mut p = DispatchPlan::new("t");
+        p.add(kernel("w0").writes(buf, ByteRange::new(0, 128)), 3, &[]);
+        p.add(kernel("w1").writes(buf, ByteRange::new(0, 128)), 3, &[]);
+        let mut out = Vec::new();
+        p.check(&mut out);
+        assert_eq!(out, vec![]);
+    }
+
+    #[test]
+    fn transitive_order_suppresses_false_positives() {
+        let buf = BufferId::from_label("plan/t");
+        let mut p = DispatchPlan::new("t");
+        let a = p.add(kernel("a").writes(buf, ByteRange::new(0, 64)), 0, &[]);
+        let b = p.add(kernel("b"), 1, &[a]);
+        p.add(kernel("c").reads(buf, ByteRange::new(0, 64)), 2, &[b]);
+        let mut out = Vec::new();
+        p.check(&mut out);
+        assert_eq!(out, vec![], "a → b → c orders a before c transitively");
+    }
+
+    #[test]
+    fn cross_stream_wait_cycle_is_detected() {
+        // Stream 0: k0 waits on k1 (enqueued later on stream 1); stream 1:
+        // k1 waits on k0. Neither can ever start.
+        let mut p = DispatchPlan::new("t");
+        p.add(kernel("k0"), 0, &[1]);
+        p.add(kernel("k1"), 1, &[0]);
+        let mut out = Vec::new();
+        p.check(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, DiagnosticKind::EventWaitCycle);
+        assert!(out[0].to_string().contains("cycle"), "{}", out[0]);
+    }
+
+    #[test]
+    fn dangling_dep_is_reported() {
+        let mut p = DispatchPlan::new("t");
+        p.add(kernel("k"), 0, &[7]);
+        let mut out = Vec::new();
+        p.check(&mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].kind, DiagnosticKind::EventWaitCycle);
+        assert!(out[0].to_string().contains("nonexistent"), "{}", out[0]);
+    }
+
+    #[test]
+    fn from_graph_mirrors_graph_launch_stream_inheritance() {
+        // Diamond a → {b, c} → d on 4 streams: b inherits a's stream, c
+        // takes a fresh one, d inherits b's.
+        let nodes = vec![kernel("a"), kernel("b"), kernel("c"), kernel("d")];
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+        let p = DispatchPlan::from_graph("t", &nodes, &deps, 4);
+        let s: Vec<usize> = p.nodes().iter().map(|n| n.stream).collect();
+        assert_eq!(s[0], s[1], "b continues a's stream");
+        assert_ne!(s[2], s[0], "c cannot continue a's stream twice");
+        assert_eq!(s[3], s[1], "d continues b's stream");
+        let mut out = Vec::new();
+        p.check(&mut out);
+        assert_eq!(out, vec![]);
+    }
+}

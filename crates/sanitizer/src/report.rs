@@ -1,0 +1,162 @@
+//! Sanitizer diagnostics: what went wrong, where, and between whom.
+
+use gpu_sim::{BufferId, ByteRange};
+
+/// The class of a sanitizer finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DiagnosticKind {
+    /// Static: two kernels of a dispatch plan conflict on memory but no
+    /// declared dependency (or stream program order) orders them.
+    MissingDependency,
+    /// Static: two batch-split chunks of one layer declare overlapping
+    /// output regions, so dispatching them concurrently is not
+    /// convergence-invariant.
+    OverlappingChunkRegions,
+    /// A cycle through event waits: the schedule can never drain
+    /// (deadlock), statically in a plan or dynamically in a trace.
+    EventWaitCycle,
+    /// Dynamic: the executed trace contains two overlapping accesses
+    /// (at least one write) unordered by happens-before.
+    DataRace,
+}
+
+impl DiagnosticKind {
+    /// Short stable label, e.g. for grouping in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            DiagnosticKind::MissingDependency => "missing-dependency",
+            DiagnosticKind::OverlappingChunkRegions => "overlapping-chunk-regions",
+            DiagnosticKind::EventWaitCycle => "event-wait-cycle",
+            DiagnosticKind::DataRace => "data-race",
+        }
+    }
+}
+
+impl std::fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One kernel's side of a conflict, for human-readable diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelRef {
+    /// Kernel name (`im2col`, `sgemm`, ...).
+    pub name: String,
+    /// Correlation tag (chunk index, layer id...).
+    pub tag: u64,
+    /// Stream the kernel was (or would be) dispatched on, if known.
+    pub stream: Option<u32>,
+    /// Plan node index or launch index, whichever the checker walked.
+    pub index: usize,
+}
+
+impl std::fmt::Display for KernelRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "`{}` (tag {}, node {}", self.name, self.tag, self.index)?;
+        match self.stream {
+            Some(s) => write!(f, ", stream {s})"),
+            None => write!(f, ")"),
+        }
+    }
+}
+
+/// The memory overlap behind a conflict diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictSite {
+    /// Buffer both kernels touch.
+    pub buffer: BufferId,
+    /// Overlapping byte range.
+    pub overlap: ByteRange,
+    /// Hazard label (`write/write`, `write/read`, `read/write`).
+    pub hazard: &'static str,
+}
+
+/// One sanitizer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Finding class.
+    pub kind: DiagnosticKind,
+    /// Which checker produced it and on what (layer key, plan label...).
+    pub context: String,
+    /// First kernel involved, if the finding is about a pair.
+    pub first: Option<KernelRef>,
+    /// Second kernel involved, if the finding is about a pair.
+    pub second: Option<KernelRef>,
+    /// The memory overlap, if the finding is about a conflict.
+    pub site: Option<ConflictSite>,
+    /// Free-form detail (cycle path, chunk indices...).
+    pub detail: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: ", self.kind, self.context)?;
+        match (&self.first, &self.second, &self.site) {
+            (Some(a), Some(b), Some(s)) => write!(
+                f,
+                "{} {} and {} both touch {} bytes {} without ordering",
+                s.hazard, a, b, s.buffer, s.overlap
+            )?,
+            (Some(a), Some(b), None) => write!(f, "{a} and {b}")?,
+            _ => {}
+        }
+        if !self.detail.is_empty() {
+            if self.first.is_some() {
+                write!(f, " — ")?;
+            }
+            f.write_str(&self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_names_both_kernels_and_the_range() {
+        let d = Diagnostic {
+            kind: DiagnosticKind::DataRace,
+            context: "net/conv1/fwd".to_string(),
+            first: Some(KernelRef {
+                name: "sgemm".into(),
+                tag: 0,
+                stream: Some(1),
+                index: 1,
+            }),
+            second: Some(KernelRef {
+                name: "sgemm".into(),
+                tag: 1,
+                stream: Some(2),
+                index: 4,
+            }),
+            site: Some(ConflictSite {
+                buffer: BufferId::from_label("conv1/out"),
+                overlap: ByteRange::new(0, 4096),
+                hazard: "write/write",
+            }),
+            detail: String::new(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("data-race"), "{s}");
+        assert!(s.contains("`sgemm` (tag 0, node 1, stream 1)"), "{s}");
+        assert!(s.contains("stream 2"), "{s}");
+        assert!(s.contains("conv1/out"), "{s}");
+        assert!(s.contains("[0, 4096)"), "{s}");
+        assert!(s.contains("write/write"), "{s}");
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(
+            DiagnosticKind::MissingDependency.label(),
+            "missing-dependency"
+        );
+        assert_eq!(
+            DiagnosticKind::EventWaitCycle.to_string(),
+            "event-wait-cycle"
+        );
+    }
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# CI gate: formatting, lints, build, full test suite, and the serving
-# smoke sweep (deterministic; asserts GLP4NN throughput >= naive).
+# CI gate: formatting, lints, build, full test suite, the serving smoke
+# sweep (deterministic; asserts GLP4NN throughput >= naive), and the
+# schedule-sanitizer smoke matrix (asserts zero diagnostics across
+# 4 nets x 3 dispatch modes under full happens-before checking).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,5 +11,6 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo build --workspace --release
 cargo test --workspace -q
 cargo run -p glp4nn-bench --release --bin reproduce -- serving --smoke
+cargo run -p glp4nn-bench --release --bin reproduce -- sanitize --smoke
 
 echo "ci: all checks passed"

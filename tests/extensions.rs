@@ -93,33 +93,37 @@ fn graph_execution_profiles_then_accelerates() {
     // An inception-like fan-out/fan-in DAG: input -> 4 branches -> concat.
     let build = || {
         let mut g = KernelGraph::new();
-        let stem = g.add(
-            KernelDesc::new(
-                "stem",
-                LaunchConfig::new(Dim3::linear(20), Dim3::linear(256), 32, 4096),
-                KernelCost::new(8.0e6, 5.0e5),
-            ),
-            &[],
-        );
+        let stem = g
+            .add(
+                KernelDesc::new(
+                    "stem",
+                    LaunchConfig::new(Dim3::linear(20), Dim3::linear(256), 32, 4096),
+                    KernelCost::new(8.0e6, 5.0e5),
+                ),
+                &[],
+            )
+            .unwrap();
         let branches: Vec<usize> = (0..4)
             .map(|b| {
-                let chain = g.add_chain(
-                    vec![
-                        KernelDesc::new(
-                            "reduce1x1",
-                            LaunchConfig::new(Dim3::linear(10), Dim3::linear(128), 32, 0),
-                            KernelCost::new(3.0e6, 2.0e5),
-                        )
-                        .with_tag(b),
-                        KernelDesc::new(
-                            "conv3x3",
-                            LaunchConfig::new(Dim3::linear(12), Dim3::linear(256), 64, 16384),
-                            KernelCost::new(2.0e7, 8.0e5),
-                        )
-                        .with_tag(b),
-                    ],
-                    &[stem],
-                );
+                let chain = g
+                    .add_chain(
+                        vec![
+                            KernelDesc::new(
+                                "reduce1x1",
+                                LaunchConfig::new(Dim3::linear(10), Dim3::linear(128), 32, 0),
+                                KernelCost::new(3.0e6, 2.0e5),
+                            )
+                            .with_tag(b),
+                            KernelDesc::new(
+                                "conv3x3",
+                                LaunchConfig::new(Dim3::linear(12), Dim3::linear(256), 64, 16384),
+                                KernelCost::new(2.0e7, 8.0e5),
+                            )
+                            .with_tag(b),
+                        ],
+                        &[stem],
+                    )
+                    .unwrap();
                 *chain.last().unwrap()
             })
             .collect();
@@ -130,7 +134,8 @@ fn graph_execution_profiles_then_accelerates() {
                 KernelCost::new(1.0e5, 4.0e5),
             ),
             &branches,
-        );
+        )
+        .unwrap();
         g
     };
 

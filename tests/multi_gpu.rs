@@ -50,9 +50,12 @@ fn two_gpus_profile_and_accelerate_independently() {
 
     // Pools were created on the right devices: pool size per GPU matches
     // the private analyzer's plan.
-    assert_eq!(glp.stream_manager().pool_size(0), plan_k40.streams as usize);
     assert_eq!(
-        glp.stream_manager().pool_size(1),
+        glp.stream_manager().pool_size(0).unwrap(),
+        plan_k40.streams as usize
+    );
+    assert_eq!(
+        glp.stream_manager().pool_size(1).unwrap(),
         plan_p100.streams as usize
     );
 }

@@ -1,0 +1,124 @@
+//! Host-side cost of capture-once / replay-many vs per-iteration capture.
+//!
+//! Both arms dispatch the same CaffeNet conv layer in steady state (after
+//! GLP4NN's profiling pass). The `replay` arm reuses the frozen
+//! [`glp4nn::ExecPlan`]; the `imperative` arm disables plan reuse, so
+//! every iteration rebuilds its kernel groups and re-captures and
+//! re-validates the schedule — exactly the work the old per-iteration
+//! dispatch loops did. The simulated timelines are identical (see
+//! `tests/plan_replay.rs`); the difference here is pure host scheduling
+//! overhead.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use glp4nn::{ExecMode, ExecPlan};
+use glp4nn_bench::workloads_for;
+use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
+use nn::layer::Layer;
+use nn::layers::conv::ConvLayer;
+use nn::{DispatchMode, ExecCtx};
+use tensor::Blob;
+
+fn bench_plan_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_replay");
+    g.sample_size(30);
+    let mut w = workloads_for("CaffeNet")[2]; // conv3: 384 small chains
+    w.batch = w.batch.min(32);
+    for (arm, reuse) in [("replay", true), ("imperative", false)] {
+        for (mode_name, mode) in [
+            ("naive", DispatchMode::Naive),
+            ("streams8", DispatchMode::FixedStreams(8)),
+            ("glp4nn", DispatchMode::Glp4nn),
+        ] {
+            let label = format!("CaffeNet_{}_b{}", w.layer, w.batch);
+            g.bench_function(
+                BenchmarkId::new(format!("{arm}_{mode_name}"), &label),
+                |b| {
+                    let mut ctx = match mode {
+                        DispatchMode::Glp4nn => ExecCtx::glp4nn(DeviceProps::p100()),
+                        m => ExecCtx::with_mode(DeviceProps::p100(), m),
+                    }
+                    .timing_only();
+                    if !reuse {
+                        ctx = ctx.without_plan_reuse();
+                    }
+                    ctx.net_name = w.net.to_string();
+                    ctx.batch = w.batch;
+                    let mut layer = ConvLayer::new(w.layer, w.cfg, 1);
+                    let bottom = Blob::nchw(w.batch, w.ci, w.hw, w.hw);
+                    let mut top = vec![Blob::empty()];
+                    layer.reshape(&[&bottom], &mut top);
+                    // Warm: profiling pass (GLP4NN) + first capture.
+                    layer.forward(&mut ctx, &[&bottom], &mut top);
+                    layer.forward(&mut ctx, &[&bottom], &mut top);
+                    // Inner loop of 10 steadies the offline criterion shim's
+                    // small fixed sample count; reported time is per 10
+                    // steady-state forwards.
+                    b.iter(|| {
+                        for _ in 0..10 {
+                            layer.forward(&mut ctx, &[&bottom], &mut top);
+                            ctx.take_timings();
+                        }
+                    });
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// The host work replay skips, in isolation: building a layer's kernel
+/// groups and capturing + freezing them into an ExecPlan, versus one
+/// plan-cache lookup (HashMap get + Arc clone). Neither arm touches the
+/// simulated device, so this is the pure per-iteration scheduling cost.
+fn bench_capture_vs_lookup(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_capture");
+    g.sample_size(30);
+    let make_groups = || -> Vec<Vec<KernelDesc>> {
+        (0..64u64)
+            .map(|i| {
+                (0..3)
+                    .map(|k| {
+                        KernelDesc::new(
+                            &format!("conv_k{k}"),
+                            LaunchConfig::new(Dim3::linear(24), Dim3::linear(256), 32, 4096),
+                            KernelCost::new(2.0e5 * (k as f64 + 1.0), 5.0e4),
+                        )
+                        .with_tag(i)
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let mut dev = Device::new(DeviceProps::p100());
+    let pool: Vec<_> = (0..8).map(|_| dev.create_stream()).collect();
+    let mode = ExecMode::Concurrent { streams: 8 };
+    g.bench_function("capture_64x3", |b| {
+        b.iter(|| {
+            let groups = make_groups();
+            black_box(ExecPlan::capture_round_robin("bench", &groups, &pool, mode))
+        });
+    });
+    let mut cache: HashMap<String, Arc<ExecPlan>> = HashMap::new();
+    cache.insert(
+        "net/conv3/fwd/b32/c64/p8".to_string(),
+        Arc::new(ExecPlan::capture_round_robin(
+            "bench",
+            &make_groups(),
+            &pool,
+            mode,
+        )),
+    );
+    g.bench_function("lookup_64x3", |b| {
+        b.iter(|| {
+            let plan = cache.get(black_box("net/conv3/fwd/b32/c64/p8")).unwrap();
+            black_box(Arc::clone(plan))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_plan_replay, bench_capture_vs_lookup);
+criterion_main!(benches);

@@ -633,6 +633,90 @@ fn sanitize(smoke: bool) {
     println!("\nsanitize: every schedule clean — chunk regions disjoint, all conflicts ordered");
 }
 
+fn replay(smoke: bool) {
+    println!("== Replay: capture-once / replay-many vs imperative dispatch, 4 nets x 3 modes ==");
+    println!("(same training iterations twice: plan reuse on vs off; timelines must be identical)");
+    println!(
+        "{:<10} {:<10} {:>9} {:>9} {:>10} {:>8}",
+        "net", "mode", "kernels", "captures", "timeline", "reports"
+    );
+    let modes = [
+        ("naive", DispatchMode::Naive),
+        ("8-streams", DispatchMode::FixedStreams(8)),
+        ("glp4nn", DispatchMode::Glp4nn),
+    ];
+    type TraceRow = (String, u64, u32, u64, u64);
+    let tl = |ctx: &ExecCtx| -> Vec<TraceRow> {
+        ctx.device
+            .trace()
+            .iter()
+            .map(|t| (t.name.clone(), t.tag, t.stream.raw(), t.start_ns, t.end_ns))
+            .collect()
+    };
+    for net in ["CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"] {
+        for (label, mode) in modes {
+            let spec = if smoke {
+                net_spec_with_batch(net, 4, 1)
+            } else {
+                net_spec(net, 1)
+            };
+            let iters = if smoke { 2 } else { 3 };
+            // Replay arm: plan reuse on, full sanitizing (static checks at
+            // capture, happens-before replay per iteration). Imperative
+            // arm: reuse off, so every iteration re-captures — the
+            // behaviour of the old per-iteration dispatch loops.
+            let mk = |reuse: bool| {
+                let mut ctx = match mode {
+                    DispatchMode::Glp4nn => ExecCtx::glp4nn(DeviceProps::p100()),
+                    m => ExecCtx::with_mode(DeviceProps::p100(), m),
+                }
+                .timing_only();
+                if reuse {
+                    ctx = ctx.sanitize(sanitizer::SanitizeMode::Full);
+                } else {
+                    ctx = ctx.without_plan_reuse();
+                }
+                ctx
+            };
+            let mut replayed = mk(true);
+            let mut imperative = mk(false);
+            for ctx in [&mut replayed, &mut imperative] {
+                let mut net_obj = Net::from_spec(&spec);
+                for _ in 0..iters {
+                    iteration_timings(ctx, &mut net_obj);
+                }
+            }
+            let a = tl(&replayed);
+            let b = tl(&imperative);
+            assert!(
+                a == b,
+                "{net}/{label}: replayed timeline diverged from imperative dispatch \
+                 ({} vs {} kernels)",
+                a.len(),
+                b.len()
+            );
+            let reports = replayed.sanitizer.reports().len();
+            for d in replayed.sanitizer.reports() {
+                println!("  {d}");
+            }
+            assert_eq!(
+                reports, 0,
+                "{net}/{label}: sanitizer flagged a replayed schedule"
+            );
+            println!(
+                "{:<10} {:<10} {:>9} {:>9} {:>10} {:>8}",
+                net,
+                label,
+                a.len(),
+                replayed.plan_captures(),
+                "identical",
+                reports
+            );
+        }
+    }
+    println!("\nreplay: every timeline identical to the imperative path; zero sanitizer reports");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -662,6 +746,7 @@ fn main() {
         "generations" => generations(),
         "serving" => serving(smoke),
         "sanitize" => sanitize(smoke),
+        "replay" => replay(smoke),
         "all" => {
             table1();
             println!();
@@ -696,10 +781,12 @@ fn main() {
             serving(smoke);
             println!();
             sanitize(smoke);
+            println!();
+            replay(smoke);
         }
         _ => {
             eprintln!(
-                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|all> [--iters N] [--smoke]"
+                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|replay|all> [--iters N] [--smoke]"
             );
             std::process::exit(2);
         }

@@ -8,11 +8,16 @@
 //! `C_out = Σ #K_i` (Eq. 9), the number of streams to create.
 //!
 //! The *concurrency maintainer* caches one [`ConcurrencyPlan`] per layer
-//! per GPU so the one-time analysis cost (`T_a`, Table 6) is paid once.
+//! per GPU so the one-time analysis cost (`T_a`, Table 6) is paid once —
+//! and, one level up, one captured [`ExecPlan`] per (layer key, optimizer
+//! config), so steady-state iterations replay a frozen schedule without
+//! re-deriving or re-validating it.
 
+use crate::plan::ExecPlan;
 use gpu_sim::DeviceProps;
 use milp::{Model, Sense, VarKind};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Aggregated profile of one kernel class, produced by the resource
@@ -57,6 +62,14 @@ pub struct KernelAnalyzer {
     props: DeviceProps,
     /// Concurrency maintainer: layer key → plan.
     plans: HashMap<String, ConcurrencyPlan>,
+    /// Frozen execution plans: (layer key + optimizer tag) → captured plan.
+    /// The analyzer is per-GPU, so device identity is implicit in the key.
+    exec_plans: HashMap<String, Arc<ExecPlan>>,
+    /// Times a schedule was captured into an [`ExecPlan`] (probe for the
+    /// cache-correctness tests).
+    captures: u64,
+    /// Times the MILP model was solved (probe for the steady-state tests).
+    solves: u64,
     /// Accumulated analysis time on this GPU (`T_a`).
     total_analysis: Duration,
 }
@@ -67,6 +80,9 @@ impl KernelAnalyzer {
         KernelAnalyzer {
             props,
             plans: HashMap::new(),
+            exec_plans: HashMap::new(),
+            captures: 0,
+            solves: 0,
             total_analysis: Duration::ZERO,
         }
     }
@@ -89,6 +105,7 @@ impl KernelAnalyzer {
     /// Analyze a layer's kernel profiles, cache and return the plan.
     pub fn analyze(&mut self, layer_key: &str, profiles: &[KernelProfile]) -> &ConcurrencyPlan {
         let plan = analyze_profiles(&self.props, profiles);
+        self.solves += 1;
         self.total_analysis += plan.analysis_time;
         self.plans.insert(layer_key.to_string(), plan);
         &self.plans[layer_key]
@@ -97,6 +114,33 @@ impl KernelAnalyzer {
     /// Number of cached plans.
     pub fn num_plans(&self) -> usize {
         self.plans.len()
+    }
+
+    /// Look up a frozen execution plan (capture-once / replay-many cache).
+    pub fn exec_plan_for(&self, plan_key: &str) -> Option<&Arc<ExecPlan>> {
+        self.exec_plans.get(plan_key)
+    }
+
+    /// Store a freshly captured execution plan under `plan_key` and count
+    /// the capture.
+    pub fn store_exec_plan(&mut self, plan_key: &str, plan: Arc<ExecPlan>) {
+        self.captures += 1;
+        self.exec_plans.insert(plan_key.to_string(), plan);
+    }
+
+    /// Number of cached execution plans.
+    pub fn num_exec_plans(&self) -> usize {
+        self.exec_plans.len()
+    }
+
+    /// Times a schedule was captured into an execution plan.
+    pub fn captures(&self) -> u64 {
+        self.captures
+    }
+
+    /// Times the MILP model was solved.
+    pub fn solves(&self) -> u64 {
+        self.solves
     }
 }
 

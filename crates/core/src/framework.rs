@@ -13,6 +13,7 @@ use crate::streams::{StreamError, StreamManager};
 use crate::tracker::ResourceTracker;
 use gpu_sim::{Device, DeviceProps, KernelDesc, SimTime};
 use sanitizer::Sanitizer;
+use std::sync::Arc;
 
 /// Error from framework-level execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -192,6 +193,29 @@ impl Glp4nn {
         self.gpus.len()
     }
 
+    /// Enable or disable execution-plan reuse on every registered GPU.
+    /// With reuse off each iteration re-captures (and re-validates) its
+    /// schedule — the behaviour of the old imperative dispatch loops,
+    /// kept as the baseline for replay-equivalence checks and benchmarks.
+    pub fn set_plan_reuse(&mut self, on: bool) {
+        for rt in self.gpus.iter_mut().flatten() {
+            rt.scheduler.set_plan_reuse(on);
+        }
+    }
+
+    /// How many execution plans device `gpu` has captured so far (cache
+    /// misses; a steady-state workload should stop incrementing this).
+    pub fn plan_captures(&self, gpu: usize) -> u64 {
+        self.gpus[gpu]
+            .as_ref()
+            .map_or(0, |rt| rt.analyzer.captures())
+    }
+
+    /// How many analytical-model (MILP) solves device `gpu` has run.
+    pub fn plan_solves(&self, gpu: usize) -> u64 {
+        self.gpus[gpu].as_ref().map_or(0, |rt| rt.analyzer.solves())
+    }
+
     /// Execute one layer's kernel groups on device `gpu` following the
     /// runtime-scheduler workflow (profile once, then dispatch over the
     /// model-sized stream pool).
@@ -240,6 +264,36 @@ impl Glp4nn {
             .map_err(Glp4nnError::from)
     }
 
+    /// Like [`try_execute`](Self::try_execute), but builds the kernel
+    /// groups lazily: on a plan-cache hit the frozen [`crate::ExecPlan`]
+    /// is replayed and the closure is never called, so steady-state
+    /// iterations skip group construction entirely.
+    pub fn try_execute_with(
+        &mut self,
+        dev: &mut Device,
+        gpu: usize,
+        key: &LayerKey,
+        make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
+        sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<ExecReport, Glp4nnError> {
+        let rt = self
+            .gpus
+            .get_mut(gpu)
+            .and_then(Option::as_mut)
+            .ok_or(Glp4nnError::DeviceNotRegistered { gpu })?;
+        rt.scheduler
+            .execute_with(
+                dev,
+                &self.tracker,
+                &mut rt.analyzer,
+                &self.streams,
+                key,
+                make_groups,
+                sanitizer,
+            )
+            .map_err(Glp4nnError::from)
+    }
+
     /// Execute a dataflow-style [`crate::KernelGraph`] (the §6 extension)
     /// with the same profile-once-then-concurrent workflow as
     /// [`execute`](Self::execute). Cross-stream dependencies are enforced
@@ -277,40 +331,49 @@ impl Glp4nn {
             .and_then(Option::as_mut)
             .ok_or(Glp4nnError::DeviceNotRegistered { gpu })?;
         let key_str = key.cache_key();
-        let t0 = dev.now();
-        let kernels = graph.len();
+
+        // Replay path: this graph's schedule was captured and validated
+        // before — tight issue loop, no analysis, no plan validation.
+        let graph_key = format!("{}#graph", rt.scheduler.exec_plan_key(key));
+        if rt.scheduler.plan_reuse() {
+            if let Some(plan) = rt.analyzer.exec_plan_for(&graph_key) {
+                let report = plan.replay(dev);
+                if let Some(san) = sanitizer {
+                    san.check_device(dev);
+                }
+                return Ok(report);
+            }
+        }
+
         if let Some(san) = sanitizer.as_deref_mut() {
             // Stream-agnostic: deps alone must cover every conflict, or
-            // some legal stream assignment races.
+            // some legal stream assignment races. Checked once per
+            // capture, not per iteration.
             san.check_graph(&key_str, graph.nodes(), graph.all_deps());
         }
-        if let Some(plan) = rt.analyzer.plan_for(&key_str).cloned() {
-            let pool = self.streams.pool(dev, gpu, plan.streams as usize)?;
+        if let Some(cplan) = rt.analyzer.plan_for(&key_str).cloned() {
+            // Capture path: freeze the stream assignment and event edges
+            // over the C_out-sized pool, validate once, cache, replay.
+            let pool = self.streams.pool(dev, gpu, cplan.streams as usize)?;
+            let plan = graph.capture(&key_str, &pool);
             if let Some(san) = sanitizer.as_deref_mut() {
-                san.check_plan(&sanitizer::DispatchPlan::from_graph(
-                    &key_str,
-                    graph.nodes(),
-                    graph.all_deps(),
-                    pool.len(),
-                ));
+                plan.validate(san);
             }
-            graph.launch(dev, &pool);
-            let end = dev.run();
+            let plan = Arc::new(plan);
+            rt.analyzer.store_exec_plan(&graph_key, Arc::clone(&plan));
+            let report = plan.replay(dev);
             if let Some(san) = sanitizer {
                 san.check_device(dev);
             }
-            return Ok(ExecReport {
-                mode: ExecMode::Concurrent {
-                    streams: plan.streams,
-                },
-                elapsed_ns: end - t0,
-                kernels,
-            });
+            return Ok(report);
         }
+
+        // Profiling path: serial capture on the default stream, recorded
+        // by the tracker and fed to the analyzer — transient, runs once.
         self.tracker.ingest(gpu, dev.trace());
         self.tracker.enable(gpu);
-        graph.launch(dev, &[dev.default_stream()]);
-        let end = dev.run();
+        let plan = graph.capture(&key_str, &[dev.default_stream()]);
+        let report = plan.replay(dev);
         if let Some(san) = sanitizer {
             san.check_device(dev);
         }
@@ -318,11 +381,7 @@ impl Glp4nn {
         self.tracker.disable(gpu);
         let profiles = self.tracker.parse(gpu);
         rt.analyzer.analyze(&key_str, &profiles);
-        Ok(ExecReport {
-            mode: ExecMode::Profiling,
-            elapsed_ns: end - t0,
-            kernels,
-        })
+        Ok(report)
     }
 
     /// The cached concurrency plan for a layer, if analyzed.

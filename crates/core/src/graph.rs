@@ -9,7 +9,9 @@
 //! so — like the group scheduler — no dependence is ever broken and the
 //! execution stays convergence-invariant.
 
-use gpu_sim::{Device, EventId, KernelDesc, StreamId};
+use crate::framework::ExecMode;
+use crate::plan::ExecPlan;
+use gpu_sim::{Device, KernelDesc, StreamId};
 use std::collections::VecDeque;
 
 /// Error from building a [`KernelGraph`].
@@ -160,49 +162,26 @@ impl KernelGraph {
     /// of their first dependency when possible (chains stay on one stream,
     /// no event needed); otherwise a stream is taken round-robin and
     /// cross-stream edges get CUDA events. Returns per-node kernel ids.
+    ///
+    /// Internally this captures the schedule into an [`ExecPlan`] and
+    /// issues it — callers that execute the same graph repeatedly should
+    /// hold on to [`capture`](KernelGraph::capture) instead and replay it.
     pub fn launch(&self, dev: &mut Device, pool: &[StreamId]) -> Vec<gpu_sim::KernelId> {
-        assert!(!pool.is_empty(), "need at least one stream");
-        let n = self.nodes.len();
-        let mut stream_of: Vec<StreamId> = Vec::with_capacity(n);
-        // Event recorded after node i, created lazily.
-        let mut event_of: Vec<Option<EventId>> = vec![None; n];
-        let mut rr = 0usize;
-        let mut ids = Vec::with_capacity(n);
-        // Whether some consumer already continued on node d's stream; only
-        // the first inherits it (in-order edge for free) — siblings would
-        // otherwise serialize behind each other on the shared stream.
-        let mut continued = vec![false; n];
+        self.capture("graph", pool).issue_with_ids(dev)
+    }
 
-        for i in 0..n {
-            let inherit = self.deps[i].iter().copied().find(|&d| !continued[d]);
-            let sid = match inherit {
-                Some(d) => {
-                    continued[d] = true;
-                    stream_of[d]
-                }
-                None => {
-                    let s = pool[rr % pool.len()];
-                    rr += 1;
-                    s
-                }
-            };
-            // Cross-stream dependencies wait on the producer's event,
-            // which was recorded immediately after the producer's launch
-            // (so it signals exactly that kernel's completion, not the
-            // later work of sibling consumers on the same stream).
-            for &d in &self.deps[i] {
-                if stream_of[d] != sid {
-                    let ev = event_of[d].expect("event recorded at producer launch");
-                    dev.wait_event(sid, ev);
-                }
+    /// Freeze this graph's schedule on `pool` into a replayable
+    /// [`ExecPlan`]: stream inheritance, round-robin fallback, and event
+    /// edges are decided once, here, not per launch.
+    pub fn capture(&self, label: &str, pool: &[StreamId]) -> ExecPlan {
+        let mode = if pool.len() <= 1 {
+            ExecMode::Profiling
+        } else {
+            ExecMode::Concurrent {
+                streams: pool.len() as u32,
             }
-            ids.push(dev.launch(sid, self.nodes[i].clone()));
-            let ev = dev.create_event();
-            dev.record_event(sid, ev);
-            event_of[i] = Some(ev);
-            stream_of.push(sid);
-        }
-        ids
+        };
+        ExecPlan::capture_graph(label, &self.nodes, &self.deps, pool, mode)
     }
 }
 

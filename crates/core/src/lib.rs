@@ -80,6 +80,7 @@ pub mod cost;
 pub mod framework;
 pub mod graph;
 pub mod optim;
+pub mod plan;
 pub mod scheduler;
 pub mod streams;
 pub mod tracker;
@@ -89,5 +90,6 @@ pub use cost::CostBook;
 pub use framework::{ExecMode, ExecReport, Glp4nn, Glp4nnError, LayerKey, Phase};
 pub use graph::{GraphError, KernelGraph};
 pub use optim::OptimConfig;
+pub use plan::{ExecPlan, PlanStep};
 pub use streams::{StreamError, StreamManager};
 pub use tracker::ResourceTracker;

@@ -57,6 +57,16 @@ impl OptimConfig {
             reordering: true,
         }
     }
+
+    /// Short tag identifying this configuration in execution-plan cache
+    /// keys: fusion and reordering change the captured schedule, so a
+    /// different config must miss the cache and re-capture.
+    pub fn cache_tag(&self) -> String {
+        format!(
+            "f{}x{}r{}",
+            self.fusion as u8, self.fusion_threshold_x, self.reordering as u8
+        )
+    }
 }
 
 /// Merge two adjacent chain kernels into one launch.

@@ -1,0 +1,453 @@
+//! Execution plans: capture-once / replay-many dispatch.
+//!
+//! After the first profiled run of a layer-phase the schedule is a pure
+//! function of (network, layer, phase, chunk count, device, optimizer
+//! config) — yet the runtime used to re-derive it and re-validate it on
+//! every iteration. An [`ExecPlan`] freezes the outcome of that decision
+//! process once, at *capture* time: the kernels to launch (shared, not
+//! cloned per launch), the stream each goes to, and the event record/wait
+//! edges between streams. *Replay* then walks the frozen step list against
+//! a [`Device`] in a tight loop — no MILP solve, no plan validation, no
+//! per-kernel heap allocation — the same division of labour as CUDA
+//! Graphs' `cudaGraphInstantiate` / `cudaGraphLaunch`.
+//!
+//! All dispatch front-ends lower to this IR:
+//!
+//! * [`RuntimeScheduler::execute`](crate::scheduler::RuntimeScheduler::execute)
+//!   captures its round-robin group schedule (after §6 fusion/reordering);
+//! * [`KernelGraph::launch`](crate::graph::KernelGraph::launch) captures its
+//!   stream-inheritance DAG schedule;
+//! * the naive and fixed-stream modes of `nn::exec::ExecCtx` are trivially
+//!   captured single-pool plans.
+//!
+//! The contract mirrors CUDA Graphs: a captured plan freezes kernel
+//! geometry, so the cache key must cover everything the kernels depend on
+//! (here: layer, phase, batch/chunk count, dispatch mode, device).
+
+use crate::framework::{ExecMode, ExecReport};
+use gpu_sim::{Device, EventId, KernelDesc, KernelId, StreamId};
+use std::sync::Arc;
+
+/// One step of a frozen execution plan. Streams, kernels, and events are
+/// indices into the owning plan's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanStep {
+    /// Launch `kernel` on `stream`.
+    Launch {
+        /// Index into the plan's stream table.
+        stream: u16,
+        /// Index into the plan's kernel table.
+        kernel: u32,
+    },
+    /// Record plan-local event `event` on `stream`.
+    Record {
+        /// Index into the plan's stream table.
+        stream: u16,
+        /// Plan-local event number.
+        event: u32,
+    },
+    /// Make `stream` wait for plan-local event `event`.
+    Wait {
+        /// Index into the plan's stream table.
+        stream: u16,
+        /// Plan-local event number.
+        event: u32,
+    },
+}
+
+/// A frozen, validated description of one layer-phase's dispatch.
+///
+/// Produced by [`capture_round_robin`](ExecPlan::capture_round_robin) or
+/// [`capture_graph`](ExecPlan::capture_graph); executed by
+/// [`replay`](ExecPlan::replay). Cheap to share (`Arc<ExecPlan>`): replay
+/// takes `&self`.
+#[derive(Debug)]
+pub struct ExecPlan {
+    label: String,
+    /// Resolved device streams. Stream-manager pools only ever grow, so
+    /// these stay valid for the lifetime of the device.
+    streams: Vec<StreamId>,
+    kernels: Vec<Arc<KernelDesc>>,
+    steps: Vec<PlanStep>,
+    num_events: u32,
+    mode: ExecMode,
+    /// Pool-relative stream index per kernel (validation view).
+    node_stream: Vec<usize>,
+    /// Declared happens-before dependencies per kernel (validation view).
+    node_deps: Vec<Vec<usize>>,
+}
+
+impl ExecPlan {
+    fn empty(label: &str, pool: &[StreamId], mode: ExecMode) -> Self {
+        assert!(!pool.is_empty(), "capture needs at least one stream");
+        ExecPlan {
+            label: label.to_string(),
+            streams: pool.to_vec(),
+            kernels: Vec::new(),
+            steps: Vec::new(),
+            num_events: 0,
+            mode,
+            node_stream: Vec::new(),
+            node_deps: Vec::new(),
+        }
+    }
+
+    /// Capture the round-robin group schedule: group `g` goes to
+    /// `pool[g % pool.len()]`, kernels inside a group stay in order on
+    /// that stream (stream FIFO ordering — no events needed). Issue order
+    /// is group-major, identical to the imperative loop this replaces.
+    pub fn capture_round_robin(
+        label: &str,
+        groups: &[Vec<KernelDesc>],
+        pool: &[StreamId],
+        mode: ExecMode,
+    ) -> Self {
+        let mut plan = Self::empty(label, pool, mode);
+        for (g, group) in groups.iter().enumerate() {
+            let sidx = g % pool.len();
+            let mut prev: Option<usize> = None;
+            for k in group {
+                let ki = plan.kernels.len();
+                plan.kernels.push(Arc::new(k.clone()));
+                plan.steps.push(PlanStep::Launch {
+                    stream: sidx as u16,
+                    kernel: ki as u32,
+                });
+                plan.node_stream.push(sidx);
+                plan.node_deps.push(prev.into_iter().collect());
+                prev = Some(ki);
+            }
+        }
+        plan
+    }
+
+    /// Capture a DAG schedule with stream inheritance: each node runs on
+    /// the stream of its first not-yet-continued dependency (falling back
+    /// to round-robin pool assignment), waits on events of cross-stream
+    /// dependencies, and records an event after launch. This reproduces
+    /// [`KernelGraph::launch`](crate::graph::KernelGraph::launch) exactly,
+    /// including its event-numbering order.
+    ///
+    /// `deps[i]` must only reference earlier nodes (`d < i`); later
+    /// references are ignored, matching the validated graph invariant.
+    pub fn capture_graph(
+        label: &str,
+        nodes: &[KernelDesc],
+        deps: &[Vec<usize>],
+        pool: &[StreamId],
+        mode: ExecMode,
+    ) -> Self {
+        let n = nodes.len();
+        let mut plan = Self::empty(label, pool, mode);
+        let mut stream_idx: Vec<usize> = Vec::with_capacity(n);
+        let mut event_of: Vec<u32> = Vec::with_capacity(n);
+        let mut continued = vec![false; n];
+        let mut rr = 0usize;
+        for i in 0..n {
+            // Inherit the stream of the first dependency that has not
+            // already been continued by another child; otherwise open the
+            // next pool stream round-robin.
+            let inherit = deps[i]
+                .iter()
+                .copied()
+                .filter(|&d| d < i)
+                .find(|&d| !continued[d]);
+            let sidx = match inherit {
+                Some(d) => {
+                    continued[d] = true;
+                    stream_idx[d]
+                }
+                None => {
+                    let s = rr % pool.len();
+                    rr += 1;
+                    s
+                }
+            };
+            for &d in &deps[i] {
+                if d < i && stream_idx[d] != sidx {
+                    plan.steps.push(PlanStep::Wait {
+                        stream: sidx as u16,
+                        event: event_of[d],
+                    });
+                }
+            }
+            let ki = plan.kernels.len() as u32;
+            plan.kernels.push(Arc::new(nodes[i].clone()));
+            plan.steps.push(PlanStep::Launch {
+                stream: sidx as u16,
+                kernel: ki,
+            });
+            let ev = plan.num_events;
+            plan.num_events += 1;
+            plan.steps.push(PlanStep::Record {
+                stream: sidx as u16,
+                event: ev,
+            });
+            stream_idx.push(sidx);
+            event_of.push(ev);
+            plan.node_stream.push(sidx);
+            plan.node_deps
+                .push(deps[i].iter().copied().filter(|&d| d < i).collect());
+        }
+        plan
+    }
+
+    /// Replay the plan: issue every step, run the device to completion,
+    /// and report. The hot loop performs no analysis, no validation, and
+    /// no per-kernel heap allocation (kernel descriptors are shared via
+    /// `Arc`; events, if any, are created in one batch up front).
+    pub fn replay(&self, dev: &mut Device) -> ExecReport {
+        let t0 = dev.now();
+        self.issue(dev);
+        let end = dev.run();
+        ExecReport {
+            mode: self.mode,
+            elapsed_ns: end - t0,
+            kernels: self.kernels.len(),
+        }
+    }
+
+    /// Issue every step of the plan without running the device. Callers
+    /// that need the simulation driven to completion follow with
+    /// [`Device::run`] (or use [`replay`](ExecPlan::replay)).
+    pub fn issue(&self, dev: &mut Device) {
+        self.issue_steps(dev, |_| {});
+    }
+
+    /// Like [`issue`](ExecPlan::issue) but collects the [`KernelId`]s
+    /// assigned to the plan's kernels, in plan kernel order.
+    pub fn issue_with_ids(&self, dev: &mut Device) -> Vec<KernelId> {
+        let mut ids = Vec::with_capacity(self.kernels.len());
+        self.issue_steps(dev, |id| ids.push(id));
+        ids
+    }
+
+    fn issue_steps(&self, dev: &mut Device, mut on_launch: impl FnMut(KernelId)) {
+        // Events are one-shot in the simulator (as in CUDA without
+        // explicit reset), so each replay gets a fresh batch.
+        let mut events: Vec<EventId> = Vec::with_capacity(self.num_events as usize);
+        for _ in 0..self.num_events {
+            events.push(dev.create_event());
+        }
+        for step in &self.steps {
+            match *step {
+                PlanStep::Launch { stream, kernel } => {
+                    let id = dev.launch_shared(
+                        self.streams[stream as usize],
+                        Arc::clone(&self.kernels[kernel as usize]),
+                    );
+                    on_launch(id);
+                }
+                PlanStep::Record { stream, event } => {
+                    dev.record_event(self.streams[stream as usize], events[event as usize]);
+                }
+                PlanStep::Wait { stream, event } => {
+                    dev.wait_event(self.streams[stream as usize], events[event as usize]);
+                }
+            }
+        }
+    }
+
+    /// Label the plan was captured under (sanitizer context string).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Execution mode reported by [`replay`](ExecPlan::replay).
+    pub fn mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// Number of kernels the plan launches per replay.
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Number of streams the plan dispatches across.
+    pub fn num_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Number of plan-local events created per replay.
+    pub fn num_events(&self) -> usize {
+        self.num_events as usize
+    }
+
+    /// The frozen step list.
+    pub fn steps(&self) -> &[PlanStep] {
+        &self.steps
+    }
+
+    /// Kernel descriptor `i` of the plan's kernel table.
+    pub fn kernel(&self, i: usize) -> &KernelDesc {
+        &self.kernels[i]
+    }
+
+    /// Pool-relative stream index per kernel (validation view).
+    pub fn node_streams(&self) -> &[usize] {
+        &self.node_stream
+    }
+
+    /// Declared happens-before dependencies of kernel `i` (validation view).
+    pub fn node_deps(&self, i: usize) -> &[usize] {
+        &self.node_deps[i]
+    }
+
+    /// Run the sanitizer's static plan check against the captured
+    /// schedule, borrowing the plan's tables instead of rebuilding a
+    /// `DispatchPlan`. Called exactly once, at capture time.
+    pub fn validate(&self, san: &mut sanitizer::Sanitizer) {
+        let nodes: Vec<sanitizer::PlanNodeRef<'_>> = (0..self.kernels.len())
+            .map(|i| sanitizer::PlanNodeRef {
+                kernel: &self.kernels[i],
+                stream: self.node_stream[i],
+                deps: &self.node_deps[i],
+            })
+            .collect();
+        san.check_plan_ref(&self.label, &nodes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{DeviceProps, Dim3, KernelCost, LaunchConfig};
+
+    fn kernel(name: &str, blocks: u32, threads: u32, flops: f64) -> KernelDesc {
+        KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(blocks), Dim3::linear(threads), 32, 0),
+            KernelCost::new(flops, flops / 4.0),
+        )
+    }
+
+    fn timeline(dev: &Device) -> Vec<(String, u32, u64, u64, u64)> {
+        dev.trace()
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    t.stream.raw(),
+                    t.launch_ns,
+                    t.start_ns,
+                    t.end_ns,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_replay_matches_imperative_loop() {
+        let groups: Vec<Vec<KernelDesc>> = (0..5)
+            .map(|g| {
+                (0..3)
+                    .map(|j| kernel(&format!("k{g}_{j}"), 8 + g, 128, 1.0e6 * (j + 1) as f64))
+                    .collect()
+            })
+            .collect();
+
+        // Imperative reference: the loop the scheduler used to run.
+        let mut dev_a = Device::new(DeviceProps::p100());
+        let pool_a: Vec<_> = (0..3).map(|_| dev_a.create_stream()).collect();
+        for (i, group) in groups.iter().enumerate() {
+            let sid = pool_a[i % pool_a.len()];
+            for k in group {
+                dev_a.launch(sid, k.clone());
+            }
+        }
+        let end_a = dev_a.run();
+
+        // Captured plan, replayed twice.
+        let mut dev_b = Device::new(DeviceProps::p100());
+        let pool_b: Vec<_> = (0..3).map(|_| dev_b.create_stream()).collect();
+        let plan = ExecPlan::capture_round_robin(
+            "test",
+            &groups,
+            &pool_b,
+            ExecMode::Concurrent { streams: 3 },
+        );
+        let r1 = plan.replay(&mut dev_b);
+        assert_eq!(end_a, r1.elapsed_ns);
+        assert_eq!(timeline(&dev_a), timeline(&dev_b));
+        assert_eq!(r1.kernels, 15);
+
+        let r2 = plan.replay(&mut dev_b);
+        assert_eq!(r1.elapsed_ns, r2.elapsed_ns, "replay must be deterministic");
+    }
+
+    #[test]
+    fn graph_replay_matches_imperative_launch() {
+        // Diamond: 0 -> {1, 2} -> 3.
+        let nodes = vec![
+            kernel("a", 8, 128, 1.0e6),
+            kernel("b", 8, 128, 2.0e6),
+            kernel("c", 8, 128, 3.0e6),
+            kernel("d", 8, 128, 1.0e6),
+        ];
+        let deps = vec![vec![], vec![0], vec![0], vec![1, 2]];
+
+        // Imperative reference: the old KernelGraph::launch body.
+        let mut dev_a = Device::new(DeviceProps::p100());
+        let pool_a: Vec<_> = (0..2).map(|_| dev_a.create_stream()).collect();
+        {
+            let mut stream_of = Vec::new();
+            let mut event_of: Vec<Option<EventId>> = vec![None; nodes.len()];
+            let mut continued = vec![false; nodes.len()];
+            let mut rr = 0usize;
+            for i in 0..nodes.len() {
+                let inherit = deps[i].iter().copied().find(|&d| !continued[d]);
+                let sid = match inherit {
+                    Some(d) => {
+                        continued[d] = true;
+                        stream_of[d]
+                    }
+                    None => {
+                        let s = pool_a[rr % pool_a.len()];
+                        rr += 1;
+                        s
+                    }
+                };
+                for &d in &deps[i] {
+                    if stream_of[d] != sid {
+                        dev_a.wait_event(sid, event_of[d].unwrap());
+                    }
+                }
+                dev_a.launch(sid, nodes[i].clone());
+                let ev = dev_a.create_event();
+                dev_a.record_event(sid, ev);
+                event_of[i] = Some(ev);
+                stream_of.push(sid);
+            }
+        }
+        dev_a.run();
+
+        let mut dev_b = Device::new(DeviceProps::p100());
+        let pool_b: Vec<_> = (0..2).map(|_| dev_b.create_stream()).collect();
+        let plan = ExecPlan::capture_graph(
+            "graph",
+            &nodes,
+            &deps,
+            &pool_b,
+            ExecMode::Concurrent { streams: 2 },
+        );
+        plan.replay(&mut dev_b);
+        assert_eq!(timeline(&dev_a), timeline(&dev_b));
+        assert_eq!(dev_a.command_log(), dev_b.command_log());
+        assert_eq!(plan.num_events(), 4);
+    }
+
+    #[test]
+    fn single_stream_capture_serializes() {
+        let groups = vec![
+            vec![kernel("a", 8, 128, 1.0e6)],
+            vec![kernel("b", 8, 128, 1.0e6)],
+        ];
+        let mut dev = Device::new(DeviceProps::p100());
+        let pool = vec![dev.default_stream()];
+        let plan = ExecPlan::capture_round_robin("serial", &groups, &pool, ExecMode::Profiling);
+        plan.replay(&mut dev);
+        let tl = timeline(&dev);
+        assert_eq!(tl.len(), 2);
+        assert!(tl[1].3 >= tl[0].4, "single stream must serialize");
+    }
+}

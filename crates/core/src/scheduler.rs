@@ -12,16 +12,19 @@
 use crate::analyzer::KernelAnalyzer;
 use crate::framework::{ExecMode, ExecReport, LayerKey};
 use crate::optim::{fuse_group, reorder_groups, OptimConfig};
+use crate::plan::ExecPlan;
 use crate::streams::{StreamError, StreamManager};
 use crate::tracker::ResourceTracker;
 use gpu_sim::{Device, KernelDesc};
-use sanitizer::{DispatchPlan, Sanitizer};
+use sanitizer::Sanitizer;
+use std::sync::Arc;
 
 /// Per-GPU runtime scheduler.
 #[derive(Debug)]
 pub struct RuntimeScheduler {
     gpu: usize,
     optim: OptimConfig,
+    plan_reuse: bool,
 }
 
 impl RuntimeScheduler {
@@ -34,7 +37,57 @@ impl RuntimeScheduler {
     /// Scheduler with explicit fusion/reordering configuration (the
     /// paper's §6 extensions).
     pub fn with_optim(gpu: usize, optim: OptimConfig) -> Self {
-        RuntimeScheduler { gpu, optim }
+        RuntimeScheduler {
+            gpu,
+            optim,
+            plan_reuse: true,
+        }
+    }
+
+    /// Enable or disable execution-plan reuse. With reuse off every
+    /// iteration re-captures (and re-validates) its schedule — the
+    /// behaviour of the old imperative dispatch loop, kept as a baseline
+    /// for the replay-equivalence checks and benchmarks.
+    pub fn set_plan_reuse(&mut self, on: bool) {
+        self.plan_reuse = on;
+    }
+
+    /// Whether execution-plan reuse is enabled.
+    pub fn plan_reuse(&self) -> bool {
+        self.plan_reuse
+    }
+
+    /// The cache key a layer's execution plan is stored under (the layer
+    /// key qualified by the optimizer configuration, which changes the
+    /// captured schedule).
+    pub fn exec_plan_key(&self, key: &LayerKey) -> String {
+        self.plan_key(&key.cache_key())
+    }
+
+    fn plan_key(&self, key_str: &str) -> String {
+        format!("{key_str}#{}", self.optim.cache_tag())
+    }
+
+    /// Replay the frozen execution plan cached for `key`, if any. Returns
+    /// `None` on a cache miss (or when plan reuse is disabled), in which
+    /// case the caller must build the kernel groups and go through
+    /// [`execute`](RuntimeScheduler::execute).
+    pub fn replay_cached(
+        &self,
+        dev: &mut Device,
+        analyzer: &KernelAnalyzer,
+        key: &LayerKey,
+        sanitizer: Option<&mut Sanitizer>,
+    ) -> Option<ExecReport> {
+        if !self.plan_reuse {
+            return None;
+        }
+        let plan = Arc::clone(analyzer.exec_plan_for(&self.plan_key(&key.cache_key()))?);
+        let report = plan.replay(dev);
+        if let Some(san) = sanitizer {
+            san.check_device(dev);
+        }
+        Some(report)
     }
 
     /// Execute one layer's kernel groups on `dev`.
@@ -47,8 +100,9 @@ impl RuntimeScheduler {
     /// pool of `C_out` streams.
     ///
     /// With a [`Sanitizer`] attached, the exact schedule about to execute
-    /// is validated first (chunk-region disjointness + plan hazards), and
-    /// in full mode the executed command trace is replayed afterwards.
+    /// is validated once at capture (chunk-region disjointness + plan
+    /// hazards); in full mode the executed command trace is additionally
+    /// replayed after every execution.
     // One parameter per Fig. 5 module plus the optional sanitizer; a
     // params struct would just rename the modules.
     #[allow(clippy::too_many_arguments)]
@@ -60,14 +114,48 @@ impl RuntimeScheduler {
         streams: &StreamManager,
         key: &LayerKey,
         groups: Vec<Vec<KernelDesc>>,
+        sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<ExecReport, StreamError> {
+        self.execute_with(
+            dev,
+            tracker,
+            analyzer,
+            streams,
+            key,
+            move || groups,
+            sanitizer,
+        )
+    }
+
+    /// Like [`execute`](RuntimeScheduler::execute), but builds the kernel
+    /// groups lazily: on a plan-cache hit the closure is never called, so
+    /// steady-state iterations skip group construction entirely.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_with(
+        &mut self,
+        dev: &mut Device,
+        tracker: &ResourceTracker,
+        analyzer: &mut KernelAnalyzer,
+        streams: &StreamManager,
+        key: &LayerKey,
+        make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
         mut sanitizer: Option<&mut Sanitizer>,
     ) -> Result<ExecReport, StreamError> {
-        let key_str = key.cache_key();
-        let kernels: usize = groups.iter().map(Vec::len).sum();
-        let t0 = dev.now();
+        // Replay path: the schedule was captured and validated before.
+        // The hot loop does no analysis, no MILP, no plan validation, and
+        // no per-kernel allocation.
+        if let Some(report) = self.replay_cached(dev, analyzer, key, sanitizer.as_deref_mut()) {
+            return Ok(report);
+        }
 
-        if let Some(plan) = analyzer.plan_for(&key_str).cloned() {
-            // Optional §6 extensions, using the plan's profiled durations.
+        let key_str = key.cache_key();
+        let groups = make_groups();
+
+        if let Some(cplan) = analyzer.plan_for(&key_str).cloned() {
+            // Capture path: apply the optional §6 extensions (using the
+            // plan's profiled durations), freeze the round-robin schedule
+            // over the C_out-stream pool, validate it once, cache it, and
+            // replay.
             let overhead = dev.props().launch_overhead_ns;
             let mut groups = groups;
             if self.optim.fusion {
@@ -76,7 +164,7 @@ impl RuntimeScheduler {
                     .map(|g| {
                         fuse_group(
                             g,
-                            &plan.class_durations,
+                            &cplan.class_durations,
                             overhead,
                             self.optim.fusion_threshold_x,
                         )
@@ -84,38 +172,37 @@ impl RuntimeScheduler {
                     .collect();
             }
             if self.optim.reordering {
-                groups = reorder_groups(groups, &plan.class_durations, overhead);
+                groups = reorder_groups(groups, &cplan.class_durations, overhead);
             }
-            // Concurrent path: round-robin groups over the pool.
-            let pool = streams.pool(dev, self.gpu, plan.streams as usize)?;
+            let pool = streams.pool(dev, self.gpu, cplan.streams as usize)?;
+            let plan = ExecPlan::capture_round_robin(
+                &key_str,
+                &groups,
+                &pool,
+                ExecMode::Concurrent {
+                    streams: cplan.streams,
+                },
+            );
             if let Some(san) = sanitizer.as_deref_mut() {
                 san.check_chunks(&key_str, &groups);
-                san.check_plan(&DispatchPlan::round_robin(&key_str, &groups, pool.len()));
+                plan.validate(san);
             }
-            for (i, group) in groups.into_iter().enumerate() {
-                let sid = pool[i % pool.len()];
-                for k in group {
-                    dev.launch(sid, k);
-                }
-            }
+            let plan = Arc::new(plan);
+            analyzer.store_exec_plan(&self.plan_key(&key_str), Arc::clone(&plan));
             // Inter-layer synchronization (paper §2.1): the layer ends with
-            // a device-wide barrier.
-            let end = dev.run();
+            // a device-wide barrier (inside replay).
+            let report = plan.replay(dev);
             if let Some(san) = sanitizer {
                 san.check_device(dev);
             }
-            return Ok(ExecReport {
-                mode: ExecMode::Concurrent {
-                    streams: plan.streams,
-                },
-                elapsed_ns: end - t0,
-                kernels,
-            });
+            return Ok(report);
         }
 
-        // Profiling path: default stream, tracker enabled. Skip any trace
-        // entries produced since the last profiling window (kernels of
-        // layers GLP4NN does not manage) before turning recording on.
+        // Profiling path: a trivially captured serial plan on the default
+        // stream, tracker enabled — transient, since profiling runs once
+        // per key. Skip any trace entries produced since the last
+        // profiling window (kernels of layers GLP4NN does not manage)
+        // before turning recording on.
         if let Some(san) = sanitizer.as_deref_mut() {
             // Chunks must be disjoint whatever the dispatch; the serial
             // profiling plan itself is trivially race-free.
@@ -123,13 +210,9 @@ impl RuntimeScheduler {
         }
         tracker.ingest(self.gpu, dev.trace());
         tracker.enable(self.gpu);
-        let sid = streams.default_stream(dev);
-        for group in groups {
-            for k in group {
-                dev.launch(sid, k);
-            }
-        }
-        let end = dev.run();
+        let pool = [streams.default_stream(dev)];
+        let plan = ExecPlan::capture_round_robin(&key_str, &groups, &pool, ExecMode::Profiling);
+        let report = plan.replay(dev);
         if let Some(san) = sanitizer {
             san.check_device(dev);
         }
@@ -137,11 +220,7 @@ impl RuntimeScheduler {
         tracker.disable(self.gpu);
         let profiles = tracker.parse(self.gpu);
         analyzer.analyze(&key_str, &profiles);
-        Ok(ExecReport {
-            mode: ExecMode::Profiling,
-            elapsed_ns: end - t0,
-            kernels,
-        })
+        Ok(report)
     }
 }
 

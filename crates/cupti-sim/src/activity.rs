@@ -33,6 +33,39 @@ impl ActivityKind {
     }
 }
 
+/// Why decoding an activity record from a buffer failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer ended before the record did. `available == 0` is the
+    /// ordinary end-of-buffer condition a drain loop stops on; anything
+    /// else is a truncated record.
+    Truncated {
+        /// Bytes the decoder needed next.
+        needed: usize,
+        /// Bytes actually remaining.
+        available: usize,
+    },
+    /// The kind byte matches no known activity kind.
+    BadKind(u8),
+    /// The kernel-name bytes are not valid UTF-8.
+    BadName,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, available } => write!(
+                f,
+                "truncated activity record: needed {needed} bytes, {available} available"
+            ),
+            DecodeError::BadKind(k) => write!(f, "unknown activity kind code {k}"),
+            DecodeError::BadName => write!(f, "kernel name is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
 /// One kernel activity record, as the resource tracker consumes it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ActivityRecord {
@@ -99,12 +132,17 @@ impl ActivityRecord {
         buf.put_slice(self.name.as_bytes());
     }
 
-    /// Deserialize one record from `buf`; `None` on malformed input.
-    pub fn decode<B: Buf>(buf: &mut B) -> Option<Self> {
+    /// Deserialize one record from `buf`, reporting exactly how malformed
+    /// input is malformed.
+    pub fn decode<B: Buf>(buf: &mut B) -> Result<Self, DecodeError> {
         if buf.remaining() < Self::FIXED_ENCODED_BYTES {
-            return None;
+            return Err(DecodeError::Truncated {
+                needed: Self::FIXED_ENCODED_BYTES,
+                available: buf.remaining(),
+            });
         }
-        let kind = ActivityKind::from_u8(buf.get_u8())?;
+        let kind_code = buf.get_u8();
+        let kind = ActivityKind::from_u8(kind_code).ok_or(DecodeError::BadKind(kind_code))?;
         let tag = buf.get_u64_le();
         let stream = buf.get_u32_le();
         let grid = (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
@@ -116,12 +154,15 @@ impl ActivityRecord {
         let end_ns = buf.get_u64_le();
         let name_len = buf.get_u16_le() as usize;
         if buf.remaining() < name_len {
-            return None;
+            return Err(DecodeError::Truncated {
+                needed: name_len,
+                available: buf.remaining(),
+            });
         }
         let mut name_bytes = vec![0u8; name_len];
         buf.copy_to_slice(&mut name_bytes);
-        let name = String::from_utf8(name_bytes).ok()?;
-        Some(ActivityRecord {
+        let name = String::from_utf8(name_bytes).map_err(|_| DecodeError::BadName)?;
+        Ok(ActivityRecord {
             kind,
             name,
             tag,
@@ -203,7 +244,14 @@ mod tests {
         let mut cur = buf.freeze();
         assert_eq!(ActivityRecord::decode(&mut cur).unwrap(), a);
         assert_eq!(ActivityRecord::decode(&mut cur).unwrap(), b);
-        assert!(ActivityRecord::decode(&mut cur).is_none());
+        // Clean exhaustion reads as a truncation with nothing available.
+        assert_eq!(
+            ActivityRecord::decode(&mut cur),
+            Err(DecodeError::Truncated {
+                needed: ActivityRecord::FIXED_ENCODED_BYTES,
+                available: 0
+            })
+        );
     }
 
     #[test]
@@ -213,7 +261,39 @@ mod tests {
         r.encode(&mut buf);
         let truncated = buf.freeze().slice(0..10);
         let mut cur = truncated;
-        assert!(ActivityRecord::decode(&mut cur).is_none());
+        let err = ActivityRecord::decode(&mut cur).unwrap_err();
+        assert_eq!(
+            err,
+            DecodeError::Truncated {
+                needed: ActivityRecord::FIXED_ENCODED_BYTES,
+                available: 10
+            }
+        );
+        assert!(err.to_string().contains("truncated"), "{err}");
+    }
+
+    #[test]
+    fn decode_rejects_bad_kind_and_name() {
+        let r = sample();
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let mut bytes = buf.freeze().as_slice().to_vec();
+        bytes[0] = 99; // corrupt the kind byte
+        let mut cur = bytes::Bytes::from(bytes);
+        assert_eq!(
+            ActivityRecord::decode(&mut cur),
+            Err(DecodeError::BadKind(99))
+        );
+
+        let mut buf = BytesMut::new();
+        r.encode(&mut buf);
+        let mut bytes = buf.freeze().as_slice().to_vec();
+        let name_at = bytes.len() - r.name.len();
+        bytes[name_at] = 0xFF; // invalid UTF-8 lead byte
+        let mut cur = bytes::Bytes::from(bytes);
+        let err = ActivityRecord::decode(&mut cur).unwrap_err();
+        assert_eq!(err, DecodeError::BadName);
+        assert!(err.to_string().contains("UTF-8"), "{err}");
     }
 
     #[test]

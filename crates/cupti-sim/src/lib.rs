@@ -46,7 +46,7 @@ pub mod callback;
 pub mod overhead;
 pub mod subscriber;
 
-pub use activity::{ActivityKind, ActivityRecord};
+pub use activity::{ActivityKind, ActivityRecord, DecodeError};
 pub use buffer::{ActivityBuffer, BufferPool, DEFAULT_BUFFER_BYTES, DEFAULT_POOL_BUFFERS};
 pub use callback::{ApiCallRecord, CallbackSubscriber};
 pub use overhead::ProfilerOverhead;

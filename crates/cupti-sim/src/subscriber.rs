@@ -91,7 +91,9 @@ impl Profiler {
         let t0 = Instant::now();
         let mut out = Vec::new();
         for mut buf in self.pool.drain() {
-            while let Some(rec) = ActivityRecord::decode(&mut buf) {
+            // Clean exhaustion or a malformed tail: either way the rest of
+            // this buffer is unreadable, so stop at the first decode error.
+            while let Ok(rec) = ActivityRecord::decode(&mut buf) {
                 out.push(rec);
             }
         }

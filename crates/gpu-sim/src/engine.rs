@@ -33,6 +33,7 @@ use crate::timeline::KernelTrace;
 use crate::SimTime;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
 
 /// Kernel lifecycle inside the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,7 +52,7 @@ enum KState {
 
 #[derive(Debug)]
 struct KernelRuntime {
-    desc: KernelDesc,
+    desc: Arc<KernelDesc>,
     stream: StreamId,
     /// Host time at which the launch call completed.
     launch_issued: SimTime,
@@ -126,6 +127,9 @@ pub struct Device {
     seq: u64,
     trace: Vec<KernelTrace>,
     cmd_log: Vec<CmdRecord>,
+    /// Reusable per-SM block-placement scratch (avoids a heap allocation
+    /// per dispatch pass).
+    scratch_per_sm: Vec<u64>,
 }
 
 impl Device {
@@ -150,6 +154,7 @@ impl Device {
             seq: 0,
             trace: Vec::new(),
             cmd_log: Vec::new(),
+            scratch_per_sm: Vec::new(),
         }
     }
 
@@ -197,6 +202,13 @@ impl Device {
     /// Panics if the grid or block is empty, the block exceeds the device's
     /// max threads per block, or one block cannot fit on an empty SM.
     pub fn launch(&mut self, stream: StreamId, desc: KernelDesc) -> KernelId {
+        self.launch_shared(stream, Arc::new(desc))
+    }
+
+    /// Like [`launch`](Device::launch) but takes a shared descriptor, so a
+    /// replayed execution plan can re-issue the same kernel many times
+    /// without cloning the descriptor (name, access sets) per launch.
+    pub fn launch_shared(&mut self, stream: StreamId, desc: Arc<KernelDesc>) -> KernelId {
         assert!(desc.launch.num_blocks() > 0, "empty grid");
         let tpb = desc.launch.threads_per_block();
         assert!(tpb > 0, "empty block");
@@ -235,15 +247,16 @@ impl Device {
             desc,
         });
         if let Some(hook) = self.launch_hook.as_mut() {
-            hook(&self.kernels[id.0 as usize].desc, stream, self.host_clock);
+            hook(
+                self.kernels[id.0 as usize].desc.as_ref(),
+                stream,
+                self.host_clock,
+            );
         }
         self.cmd_log.push(CmdRecord::Launch { stream, kernel: id });
         self.streams[stream.0 as usize]
             .queue
-            .push_back(Command::Launch(
-                id,
-                self.kernels[id.0 as usize].desc.clone(),
-            ));
+            .push_back(Command::Launch(id));
         id
     }
 
@@ -309,7 +322,7 @@ impl Device {
     /// # Panics
     /// Panics if `id` was not issued by this device.
     pub fn kernel_desc(&self, id: KernelId) -> &KernelDesc {
-        &self.kernels[id.0 as usize].desc
+        self.kernels[id.0 as usize].desc.as_ref()
     }
 
     /// Utilization statistics over everything simulated so far.
@@ -399,7 +412,7 @@ impl Device {
                 return;
             };
             match cmd {
-                Command::Launch(id, _) => {
+                Command::Launch(id) => {
                     let id = *id;
                     let k = &mut self.kernels[id.0 as usize];
                     if k.launch_issued > self.clock {
@@ -494,7 +507,7 @@ impl Device {
             let sid = k.stream;
             self.trace.push(KernelTrace::from_runtime(
                 id,
-                &self.kernels[id.0 as usize].desc,
+                self.kernels[id.0 as usize].desc.as_ref(),
                 sid,
                 self.kernels[id.0 as usize].launch_issued,
                 self.kernels[id.0 as usize].start.unwrap_or(self.clock),
@@ -515,9 +528,11 @@ impl Device {
     fn dispatch(&mut self, now: SimTime) {
         loop {
             let mut placed_any = false;
-            // Round-robin one SM-burst per kernel per pass.
-            let actives: Vec<KernelId> = self.active.clone();
-            for id in actives {
+            // Round-robin one SM-burst per kernel per pass. Index loop:
+            // `active` is not mutated inside a dispatch pass, and indexing
+            // avoids cloning the active set every pass.
+            for ai in 0..self.active.len() {
+                let id = self.active[ai];
                 let (remaining, fp, nominal, demand) = {
                     let k = &self.kernels[id.0 as usize];
                     if k.state != KState::Active {
@@ -538,7 +553,9 @@ impl Device {
                 // like the hardware block scheduler, until the grid is
                 // exhausted or no SM has room.
                 let num_sms = self.sms.len();
-                let mut per_sm = vec![0u64; num_sms];
+                let mut per_sm = std::mem::take(&mut self.scratch_per_sm);
+                per_sm.clear();
+                per_sm.resize(num_sms, 0);
                 let mut placed_total = 0u64;
                 let mut progress = true;
                 while placed_total < remaining && progress {
@@ -556,6 +573,7 @@ impl Device {
                     }
                 }
                 if placed_total == 0 {
+                    self.scratch_per_sm = per_sm;
                     continue;
                 }
                 let factor = self.bw.place(demand * placed_total as f64);
@@ -599,6 +617,7 @@ impl Device {
                         },
                     );
                 }
+                self.scratch_per_sm = per_sm;
                 let k = &mut self.kernels[id.0 as usize];
                 k.blocks_issued += placed_total;
                 if k.start.is_none() {

@@ -7,7 +7,7 @@
 //! stream manager builds its *concurrent stream pool* and *default stream*
 //! on these primitives.
 
-use crate::kernel::{KernelDesc, KernelId};
+use crate::kernel::KernelId;
 use std::collections::VecDeque;
 
 /// Identifier of a stream within a device. Stream 0 is the default stream.
@@ -43,8 +43,9 @@ impl EventId {
 /// One command in a stream's FIFO.
 #[derive(Debug, Clone)]
 pub enum Command {
-    /// Launch a kernel (already assigned a [`KernelId`]).
-    Launch(KernelId, KernelDesc),
+    /// Launch a kernel (already assigned a [`KernelId`]; the descriptor
+    /// lives in the device's kernel table).
+    Launch(KernelId),
     /// Record `EventId`: completes when all prior work in this stream done.
     RecordEvent(EventId),
     /// Block this stream until `EventId` completes.

@@ -1,8 +1,10 @@
 //! Execution context: simulated device + dispatch policy + timing capture.
 
-use glp4nn::{ExecMode, ExecReport, Glp4nn, LayerKey, Phase};
+use glp4nn::{ExecMode, ExecPlan, ExecReport, Glp4nn, LayerKey, Phase};
 use gpu_sim::{Device, DeviceProps, KernelDesc, SimTime, StreamId};
-use sanitizer::{DispatchPlan, SanitizeMode, Sanitizer};
+use sanitizer::{SanitizeMode, Sanitizer};
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// How a layer's kernel groups are dispatched to the device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,6 +54,10 @@ pub struct ExecCtx {
     pub batch_parallel_all: bool,
     /// Name of the network currently executing (set by [`crate::Net`]).
     pub net_name: String,
+    /// Batch size of the pass currently executing (set by [`crate::Net`];
+    /// part of the execution-plan cache key, since per-layer kernel
+    /// geometry depends on it).
+    pub batch: usize,
     /// Captured per-layer timings (cleared by [`take_timings`]).
     ///
     /// [`take_timings`]: ExecCtx::take_timings
@@ -61,6 +67,12 @@ pub struct ExecCtx {
     /// [`sanitize`]: ExecCtx::sanitize
     pub sanitizer: Sanitizer,
     fixed_pool: Vec<StreamId>,
+    /// Frozen execution plans for the self-dispatched (non-Glp4nn) modes,
+    /// keyed by `net/layer/phase/batch/chunks/mode`. The Glp4nn mode
+    /// caches inside the framework's concurrency maintainer instead.
+    plans: HashMap<String, Arc<ExecPlan>>,
+    plan_reuse: bool,
+    captures: u64,
 }
 
 impl ExecCtx {
@@ -93,10 +105,33 @@ impl ExecCtx {
             compute: true,
             batch_parallel_all: false,
             net_name: String::new(),
+            batch: 0,
             timings: Vec::new(),
             sanitizer: Sanitizer::default(),
             fixed_pool: Vec::new(),
+            plans: HashMap::new(),
+            plan_reuse: true,
+            captures: 0,
         }
+    }
+
+    /// Disable execution-plan reuse: every dispatch re-captures (and
+    /// re-validates) its schedule, the behaviour of the old imperative
+    /// launch loops. Kept as the baseline for replay-equivalence checks.
+    pub fn without_plan_reuse(mut self) -> Self {
+        self.plan_reuse = false;
+        if let Some(glp) = self.glp.as_mut() {
+            glp.set_plan_reuse(false);
+        }
+        self
+    }
+
+    /// How many execution plans this context has captured (including, in
+    /// Glp4nn mode, captures inside the attached framework). A
+    /// steady-state workload stops incrementing this: every later
+    /// iteration is a pure plan replay.
+    pub fn plan_captures(&self) -> u64 {
+        self.captures + self.glp.as_ref().map_or(0, |g| g.plan_captures(self.gpu))
     }
 
     /// Disable real CPU math (timing-only experiments).
@@ -131,39 +166,55 @@ impl ExecCtx {
         phase: Phase,
         groups: Vec<Vec<KernelDesc>>,
     ) -> ExecReport {
-        // Static checks for the self-dispatched modes; the Glp4nn path
-        // validates inside the runtime scheduler, against the schedule it
-        // actually builds (post fusion/reordering).
-        if self.sanitizer.is_enabled() && !matches!(self.mode, DispatchMode::Glp4nn) {
-            self.sanitizer.check_chunks(layer, &groups);
-        }
+        let chunks = groups.len();
+        self.dispatch_groups_with(layer, phase, chunks, move || groups)
+    }
+
+    /// Like [`dispatch_groups`](ExecCtx::dispatch_groups), but builds the
+    /// kernel groups lazily: when the site's frozen [`ExecPlan`] is
+    /// cached, the plan replays and the closure is never called, so
+    /// steady-state iterations skip kernel-descriptor construction
+    /// entirely. `chunks` must equal the number of groups the closure
+    /// would build (it is part of the cache key).
+    pub fn dispatch_groups_with(
+        &mut self,
+        layer: &str,
+        phase: Phase,
+        chunks: usize,
+        make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
+    ) -> ExecReport {
         let report = match self.mode {
-            DispatchMode::Naive => self.run_on_streams(&[self.device.default_stream()], groups),
+            DispatchMode::Naive => {
+                let pool = [self.device.default_stream()];
+                self.replay_or_capture(layer, phase, chunks, &pool, make_groups)
+            }
             DispatchMode::FixedStreams(n) => {
                 while self.fixed_pool.len() < n as usize {
                     let s = self.device.create_stream();
                     self.fixed_pool.push(s);
                 }
                 let pool: Vec<StreamId> = self.fixed_pool[..n as usize].to_vec();
-                self.run_on_streams(&pool, groups)
+                self.replay_or_capture(layer, phase, chunks, &pool, make_groups)
             }
             DispatchMode::Glp4nn => {
                 // Plans are keyed per layer x phase x group count: a
                 // serving batcher that varies the batch size profiles each
                 // shape once, then every later batch of that shape reuses
-                // its cached plan.
+                // its cached plan. Validation happens inside the runtime
+                // scheduler, against the schedule it actually captures
+                // (post fusion/reordering).
                 let key = LayerKey {
                     net: self.net_name.clone(),
                     layer: layer.to_string(),
                     phase,
-                    chunks: groups.len(),
+                    chunks,
                 };
                 let san = self.sanitizer.is_enabled().then_some(&mut self.sanitizer);
                 let glp = self
                     .glp
                     .as_mut()
                     .expect("DispatchMode::Glp4nn requires an attached framework");
-                glp.try_execute(&mut self.device, self.gpu, &key, groups, san)
+                glp.try_execute_with(&mut self.device, self.gpu, &key, make_groups, san)
                     .unwrap_or_else(|e| panic!("{e}"))
             }
         };
@@ -193,7 +244,8 @@ impl ExecCtx {
         phase: Phase,
         kernels: Vec<KernelDesc>,
     ) -> ExecReport {
-        let report = self.run_on_streams(&[self.device.default_stream()], vec![kernels]);
+        let pool = [self.device.default_stream()];
+        let report = self.replay_or_capture(layer, phase, 1, &pool, move || vec![kernels]);
         if self.sanitizer.is_full() {
             self.sanitizer.check_device(&self.device);
         }
@@ -206,31 +258,59 @@ impl ExecCtx {
         report
     }
 
-    fn run_on_streams(&mut self, pool: &[StreamId], groups: Vec<Vec<KernelDesc>>) -> ExecReport {
-        if self.sanitizer.is_enabled() {
-            self.sanitizer
-                .check_plan(&DispatchPlan::round_robin("dispatch", &groups, pool.len()));
-        }
-        let t0 = self.device.now();
-        let kernels: usize = groups.iter().map(Vec::len).sum();
-        for (i, group) in groups.into_iter().enumerate() {
-            let sid = pool[i % pool.len()];
-            for k in group {
-                self.device.launch(sid, k);
+    /// Cache key for one dispatch site. Batch size and chunk count pin the
+    /// kernel geometry (the frozen-shape contract, as with CUDA Graphs):
+    /// for a fixed network, every per-layer kernel descriptor is a pure
+    /// function of `(batch, chunks)`, so two calls agreeing on this key
+    /// dispatch identical kernels.
+    fn plan_key(&self, layer: &str, phase: Phase, chunks: usize, pool_len: usize) -> String {
+        let phase = match phase {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+        };
+        format!(
+            "{}/{}/{}/b{}/c{}/p{}",
+            self.net_name, layer, phase, self.batch, chunks, pool_len
+        )
+    }
+
+    /// The capture-once / replay-many core of the self-dispatched modes:
+    /// on a cache hit the frozen plan replays (tight issue loop, no
+    /// validation, no per-kernel allocation); on a miss the groups are
+    /// built, captured round-robin over `pool`, statically validated
+    /// once, cached, and replayed.
+    fn replay_or_capture(
+        &mut self,
+        layer: &str,
+        phase: Phase,
+        chunks: usize,
+        pool: &[StreamId],
+        make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
+    ) -> ExecReport {
+        let key = self.plan_key(layer, phase, chunks, pool.len());
+        if self.plan_reuse {
+            if let Some(plan) = self.plans.get(&key) {
+                return Arc::clone(plan).replay(&mut self.device);
             }
         }
-        let end = self.device.run();
-        ExecReport {
-            mode: if pool.len() <= 1 {
-                ExecMode::Profiling // serial on default stream
-            } else {
-                ExecMode::Concurrent {
-                    streams: pool.len() as u32,
-                }
-            },
-            elapsed_ns: end - t0,
-            kernels,
+        let groups = make_groups();
+        let mode = if pool.len() <= 1 {
+            ExecMode::Profiling // serial on default stream
+        } else {
+            ExecMode::Concurrent {
+                streams: pool.len() as u32,
+            }
+        };
+        let plan = ExecPlan::capture_round_robin(&key, &groups, pool, mode);
+        if self.sanitizer.is_enabled() {
+            self.sanitizer.check_chunks(layer, &groups);
+            plan.validate(&mut self.sanitizer);
         }
+        self.captures += 1;
+        let plan = Arc::new(plan);
+        let report = plan.replay(&mut self.device);
+        self.plans.insert(key, plan);
+        report
     }
 
     /// Take and clear accumulated layer timings.

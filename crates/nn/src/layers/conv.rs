@@ -231,9 +231,12 @@ impl Layer for ConvLayer {
         let b = bottom[0];
         let n = b.num();
 
-        // Simulated-GPU dispatch: one dependent chain per sample.
-        let groups: Vec<_> = (0..n as u64).map(|i| self.forward_group(i)).collect();
-        ctx.dispatch_groups(&self.name, Phase::Forward, groups);
+        // Simulated-GPU dispatch: one dependent chain per sample. Lazy:
+        // once the site's execution plan is cached, the groups are never
+        // rebuilt — the frozen plan replays directly.
+        ctx.dispatch_groups_with(&self.name, Phase::Forward, n, || {
+            (0..n as u64).map(|i| self.forward_group(i)).collect()
+        });
 
         if !ctx.compute {
             return;
@@ -289,8 +292,9 @@ impl Layer for ConvLayer {
         let t = top[0];
         let n = t.num();
 
-        let groups: Vec<_> = (0..n as u64).map(|i| self.backward_group(i)).collect();
-        ctx.dispatch_groups(&self.name, Phase::Backward, groups);
+        ctx.dispatch_groups_with(&self.name, Phase::Backward, n, || {
+            (0..n as u64).map(|i| self.backward_group(i)).collect()
+        });
 
         if !ctx.compute {
             return;

@@ -86,16 +86,18 @@ impl Layer for PoolingLayer {
             // independently too, so it can use the same per-sample group
             // dispatch as convolutions. Each chunk declares its sample's
             // regions so the sanitizer can prove chunks disjoint.
-            let groups: Vec<_> = (0..n as u64)
-                .map(|i| {
-                    vec![kernels::pool_kernel("pool", c * oh * ow, self.kernel)
-                        .with_tag(i)
-                        .reads(in_buf, sample_range(i, c * ih * iw))
-                        .writes(out_buf, sample_range(i, c * oh * ow))
-                        .writes(idx_buf, sample_range(i, c * oh * ow))]
-                })
-                .collect();
-            ctx.dispatch_groups(&self.name, Phase::Forward, groups);
+            let kernel = self.kernel;
+            ctx.dispatch_groups_with(&self.name, Phase::Forward, n, || {
+                (0..n as u64)
+                    .map(|i| {
+                        vec![kernels::pool_kernel("pool", c * oh * ow, kernel)
+                            .with_tag(i)
+                            .reads(in_buf, sample_range(i, c * ih * iw))
+                            .writes(out_buf, sample_range(i, c * oh * ow))
+                            .writes(idx_buf, sample_range(i, c * oh * ow))]
+                    })
+                    .collect()
+            });
         } else {
             ctx.dispatch_single(
                 &self.name,

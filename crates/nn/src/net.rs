@@ -297,6 +297,7 @@ impl Net {
     /// outputs.
     pub fn forward(&mut self, ctx: &mut ExecCtx) -> f32 {
         ctx.net_name = self.name.clone();
+        ctx.batch = self.blobs.first().map_or(0, |b| b.num());
         let mut loss = 0.0f32;
         for i in 0..self.layers.len() {
             // Move tops out so bottoms can be borrowed immutably.
@@ -334,6 +335,7 @@ impl Net {
     /// Run the backward pass (forward must have run first).
     pub fn backward(&mut self, ctx: &mut ExecCtx) {
         ctx.net_name = self.name.clone();
+        ctx.batch = self.blobs.first().map_or(0, |b| b.num());
         // Seed loss gradients.
         for i in 0..self.layers.len() {
             let w = self.layers[i].loss_weight();

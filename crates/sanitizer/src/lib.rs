@@ -29,7 +29,7 @@ pub mod hb;
 pub mod plan;
 pub mod report;
 
-pub use plan::{DispatchPlan, PlanNode};
+pub use plan::{DispatchPlan, PlanNode, PlanNodeRef};
 pub use report::{ConflictSite, Diagnostic, DiagnosticKind, KernelRef};
 
 use gpu_sim::{Device, KernelDesc};
@@ -161,6 +161,18 @@ impl Sanitizer {
         }
         self.stats.plans_checked += 1;
         self.stats.plan_pairs += plan.check(&mut self.reports);
+    }
+
+    /// Static check of a schedule given as borrowed node views — the
+    /// zero-copy form of [`check_plan`](Sanitizer::check_plan), used to
+    /// validate a captured execution plan exactly once at capture time
+    /// without rebuilding a [`DispatchPlan`].
+    pub fn check_plan_ref(&mut self, label: &str, nodes: &[PlanNodeRef<'_>]) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.stats.plans_checked += 1;
+        self.stats.plan_pairs += plan::check_nodes(label, nodes, &mut self.reports);
     }
 
     /// Static check of a kernel DAG (stream-agnostic): every pair of

@@ -23,6 +23,19 @@ pub struct PlanNode {
     pub deps: Vec<usize>,
 }
 
+/// A borrowed view of one plan node, so a frozen execution plan can be
+/// validated in place — no kernels cloned into a [`DispatchPlan`] per
+/// check. [`DispatchPlan::check`] itself runs on this view.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanNodeRef<'a> {
+    /// The kernel to launch.
+    pub kernel: &'a KernelDesc,
+    /// Target stream (pool-relative index).
+    pub stream: usize,
+    /// Plan-node indices whose completion this node waits for.
+    pub deps: &'a [usize],
+}
+
 /// An issue-ordered schedule: which kernel goes to which stream, after
 /// which dependencies.
 #[derive(Debug, Clone, Default)]
@@ -121,165 +134,187 @@ impl DispatchPlan {
         self.nodes.is_empty()
     }
 
-    fn kernel_ref(&self, i: usize) -> KernelRef {
-        let n = &self.nodes[i];
-        KernelRef {
-            name: n.kernel.name.clone(),
-            tag: n.kernel.tag,
-            stream: Some(n.stream as u32),
-            index: i,
-        }
-    }
-
-    /// Happens-before edges of the plan: `i → j` when `j` cannot start
-    /// before `i` completes. Stream FIFO order contributes edges between
-    /// issue-order neighbours on the same stream; declared deps contribute
-    /// the rest (cross-stream ones become event waits at dispatch).
-    fn hb_edges(&self) -> Vec<Vec<usize>> {
-        let n = self.nodes.len();
-        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut last_on_stream: std::collections::HashMap<usize, usize> =
-            std::collections::HashMap::new();
-        for (i, node) in self.nodes.iter().enumerate() {
-            if let Some(&p) = last_on_stream.get(&node.stream) {
-                succ[p].push(i);
-            }
-            last_on_stream.insert(node.stream, i);
-            for &d in &node.deps {
-                if d < n && d != i {
-                    succ[d].push(i);
-                }
-            }
-        }
-        succ
+    /// Borrowed node views in issue order.
+    pub fn node_refs(&self) -> Vec<PlanNodeRef<'_>> {
+        self.nodes
+            .iter()
+            .map(|n| PlanNodeRef {
+                kernel: &n.kernel,
+                stream: n.stream,
+                deps: &n.deps,
+            })
+            .collect()
     }
 
     /// Check the plan: out-of-range deps, event-wait cycles (deadlock),
     /// and memory conflicts not covered by happens-before. Appends
     /// diagnostics to `out`; returns the number of kernel pairs compared.
     pub(crate) fn check(&self, out: &mut Vec<Diagnostic>) -> u64 {
-        let n = self.nodes.len();
-        for (i, node) in self.nodes.iter().enumerate() {
-            for &d in &node.deps {
-                if d >= n {
-                    out.push(Diagnostic {
-                        kind: DiagnosticKind::EventWaitCycle,
-                        context: self.label.clone(),
-                        first: Some(self.kernel_ref(i)),
-                        second: None,
-                        site: None,
-                        detail: format!(
-                            "node {i} waits on nonexistent node {d} (plan has {n} nodes): \
-                             the wait can never be satisfied"
-                        ),
-                    });
-                }
-            }
-        }
+        check_nodes(&self.label, &self.node_refs(), out)
+    }
+}
 
-        let succ = self.hb_edges();
-        // Cycle detection via Kahn's algorithm on the HB edge graph: any
-        // node left undrained sits on (or behind) a wait cycle.
-        let mut indeg = vec![0usize; n];
-        for outs in &succ {
-            for &j in outs {
-                indeg[j] += 1;
-            }
-        }
-        let mut queue: std::collections::VecDeque<usize> =
-            (0..n).filter(|&i| indeg[i] == 0).collect();
-        let mut drained = 0usize;
-        let mut order = Vec::with_capacity(n);
-        while let Some(i) = queue.pop_front() {
-            drained += 1;
-            order.push(i);
-            for &j in &succ[i] {
-                indeg[j] -= 1;
-                if indeg[j] == 0 {
-                    queue.push_back(j);
-                }
-            }
-        }
-        if drained < n {
-            let stuck: Vec<usize> = (0..n).filter(|&i| indeg[i] > 0).collect();
-            let named: Vec<String> = stuck
-                .iter()
-                .take(4)
-                .map(|&i| self.kernel_ref(i).to_string())
-                .collect();
-            out.push(Diagnostic {
-                kind: DiagnosticKind::EventWaitCycle,
-                context: self.label.clone(),
-                first: None,
-                second: None,
-                site: None,
-                detail: format!(
-                    "{} of {} kernels can never start: event waits form a cycle through {}",
-                    stuck.len(),
-                    n,
-                    named.join(", ")
-                ),
-            });
-            // Conflict analysis below needs an acyclic HB relation.
-            return 0;
-        }
+fn kernel_ref(nodes: &[PlanNodeRef<'_>], i: usize) -> KernelRef {
+    let n = &nodes[i];
+    KernelRef {
+        name: n.kernel.name.clone(),
+        tag: n.kernel.tag,
+        stream: Some(n.stream as u32),
+        index: i,
+    }
+}
 
-        // Transitive HB closure over the topological order, as bitsets.
-        let words = n.div_ceil(64);
-        let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
-        for &i in order.iter().rev() {
-            for &j in &succ[i] {
-                let (row_j, row_i) = if i < j {
-                    let (a, b) = reach.split_at_mut(j);
-                    (&b[0], &mut a[i])
-                } else {
-                    let (a, b) = reach.split_at_mut(i);
-                    (&a[j], &mut b[0])
-                };
-                for w in 0..words {
-                    row_i[w] |= row_j[w];
-                }
-                reach[i][j / 64] |= 1 << (j % 64);
+/// Happens-before edges of the plan: `i → j` when `j` cannot start
+/// before `i` completes. Stream FIFO order contributes edges between
+/// issue-order neighbours on the same stream; declared deps contribute
+/// the rest (cross-stream ones become event waits at dispatch).
+fn hb_edges(nodes: &[PlanNodeRef<'_>]) -> Vec<Vec<usize>> {
+    let n = nodes.len();
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut last_on_stream: std::collections::HashMap<usize, usize> =
+        std::collections::HashMap::new();
+    for (i, node) in nodes.iter().enumerate() {
+        if let Some(&p) = last_on_stream.get(&node.stream) {
+            succ[p].push(i);
+        }
+        last_on_stream.insert(node.stream, i);
+        for &d in node.deps {
+            if d < n && d != i {
+                succ[d].push(i);
             }
         }
-        let ordered = |a: usize, b: usize| reach[a][b / 64] >> (b % 64) & 1 == 1;
+    }
+    succ
+}
 
-        let mut pairs = 0u64;
-        for i in 0..n {
-            if self.nodes[i].kernel.accesses.is_empty() {
+/// Check an issue-ordered schedule given as borrowed node views:
+/// out-of-range deps, event-wait cycles (deadlock), and memory conflicts
+/// not covered by happens-before. Appends diagnostics to `out`; returns
+/// the number of kernel pairs compared.
+pub(crate) fn check_nodes(
+    label: &str,
+    nodes: &[PlanNodeRef<'_>],
+    out: &mut Vec<Diagnostic>,
+) -> u64 {
+    let n = nodes.len();
+    for (i, node) in nodes.iter().enumerate() {
+        for &d in node.deps {
+            if d >= n {
+                out.push(Diagnostic {
+                    kind: DiagnosticKind::EventWaitCycle,
+                    context: label.to_string(),
+                    first: Some(kernel_ref(nodes, i)),
+                    second: None,
+                    site: None,
+                    detail: format!(
+                        "node {i} waits on nonexistent node {d} (plan has {n} nodes): \
+                         the wait can never be satisfied"
+                    ),
+                });
+            }
+        }
+    }
+
+    let succ = hb_edges(nodes);
+    // Cycle detection via Kahn's algorithm on the HB edge graph: any
+    // node left undrained sits on (or behind) a wait cycle.
+    let mut indeg = vec![0usize; n];
+    for outs in &succ {
+        for &j in outs {
+            indeg[j] += 1;
+        }
+    }
+    let mut queue: std::collections::VecDeque<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut drained = 0usize;
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = queue.pop_front() {
+        drained += 1;
+        order.push(i);
+        for &j in &succ[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                queue.push_back(j);
+            }
+        }
+    }
+    if drained < n {
+        let stuck: Vec<usize> = (0..n).filter(|&i| indeg[i] > 0).collect();
+        let named: Vec<String> = stuck
+            .iter()
+            .take(4)
+            .map(|&i| kernel_ref(nodes, i).to_string())
+            .collect();
+        out.push(Diagnostic {
+            kind: DiagnosticKind::EventWaitCycle,
+            context: label.to_string(),
+            first: None,
+            second: None,
+            site: None,
+            detail: format!(
+                "{} of {} kernels can never start: event waits form a cycle through {}",
+                stuck.len(),
+                n,
+                named.join(", ")
+            ),
+        });
+        // Conflict analysis below needs an acyclic HB relation.
+        return 0;
+    }
+
+    // Transitive HB closure over the topological order, as bitsets.
+    let words = n.div_ceil(64);
+    let mut reach: Vec<Vec<u64>> = vec![vec![0u64; words]; n];
+    for &i in order.iter().rev() {
+        for &j in &succ[i] {
+            let (row_j, row_i) = if i < j {
+                let (a, b) = reach.split_at_mut(j);
+                (&b[0], &mut a[i])
+            } else {
+                let (a, b) = reach.split_at_mut(i);
+                (&a[j], &mut b[0])
+            };
+            for w in 0..words {
+                row_i[w] |= row_j[w];
+            }
+            reach[i][j / 64] |= 1 << (j % 64);
+        }
+    }
+    let ordered = |a: usize, b: usize| reach[a][b / 64] >> (b % 64) & 1 == 1;
+
+    let mut pairs = 0u64;
+    for i in 0..n {
+        if nodes[i].kernel.accesses.is_empty() {
+            continue;
+        }
+        for j in (i + 1)..n {
+            if nodes[j].kernel.accesses.is_empty() {
                 continue;
             }
-            for j in (i + 1)..n {
-                if self.nodes[j].kernel.accesses.is_empty() {
-                    continue;
-                }
-                pairs += 1;
-                if ordered(i, j) || ordered(j, i) {
-                    continue;
-                }
-                if let Some(c) = self.nodes[i]
-                    .kernel
-                    .accesses
-                    .conflict_with(&self.nodes[j].kernel.accesses)
-                {
-                    out.push(Diagnostic {
-                        kind: DiagnosticKind::MissingDependency,
-                        context: self.label.clone(),
-                        first: Some(self.kernel_ref(i)),
-                        second: Some(self.kernel_ref(j)),
-                        site: Some(ConflictSite {
-                            buffer: c.buffer,
-                            overlap: c.overlap,
-                            hazard: c.hazard(),
-                        }),
-                        detail: "no declared dependency or stream order covers this hazard"
-                            .to_string(),
-                    });
-                }
+            pairs += 1;
+            if ordered(i, j) || ordered(j, i) {
+                continue;
+            }
+            if let Some(c) = nodes[i]
+                .kernel
+                .accesses
+                .conflict_with(&nodes[j].kernel.accesses)
+            {
+                out.push(Diagnostic {
+                    kind: DiagnosticKind::MissingDependency,
+                    context: label.to_string(),
+                    first: Some(kernel_ref(nodes, i)),
+                    second: Some(kernel_ref(nodes, j)),
+                    site: Some(ConflictSite {
+                        buffer: c.buffer,
+                        overlap: c.overlap,
+                        hazard: c.hazard(),
+                    }),
+                    detail: "no declared dependency or stream order covers this hazard".to_string(),
+                });
             }
         }
-        pairs
     }
+    pairs
 }
 
 #[cfg(test)]

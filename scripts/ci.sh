@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # CI gate: formatting, lints, build, full test suite, the serving smoke
-# sweep (deterministic; asserts GLP4NN throughput >= naive), and the
+# sweep (deterministic; asserts GLP4NN throughput >= naive), the
 # schedule-sanitizer smoke matrix (asserts zero diagnostics across
-# 4 nets x 3 dispatch modes under full happens-before checking).
+# 4 nets x 3 dispatch modes under full happens-before checking), and the
+# plan-replay smoke matrix (asserts replayed ExecPlan timelines are
+# identical to imperative dispatch for 4 nets x 3 modes).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,5 +14,6 @@ cargo build --workspace --release
 cargo test --workspace -q
 cargo run -p glp4nn-bench --release --bin reproduce -- serving --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- sanitize --smoke
+cargo run -p glp4nn-bench --release --bin reproduce -- replay --smoke
 
 echo "ci: all checks passed"

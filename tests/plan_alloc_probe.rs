@@ -1,0 +1,117 @@
+//! Allocation probe for the replay hot path.
+//!
+//! The acceptance bar for capture-once / replay-many: a warm replay's
+//! issue loop performs no per-kernel heap allocation — kernel descriptors
+//! are shared `Arc`s, round-robin plans need zero events, and the
+//! device's internal queues are amortized. A counting global allocator
+//! measures the issue phase of a warm replay and asserts the allocation
+//! count stays below the kernel count (i.e. strictly sub-per-kernel; the
+//! handful that remain are amortized `Vec` growth inside the simulator).
+//!
+//! Lives in its own test binary so other tests' allocations cannot
+//! pollute the counter.
+
+use glp4nn::{ExecMode, ExecPlan};
+use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn groups(n: u64, chain: usize) -> Vec<Vec<KernelDesc>> {
+    (0..n)
+        .map(|i| {
+            (0..chain)
+                .map(|c| {
+                    KernelDesc::new(
+                        &format!("k{c}"),
+                        LaunchConfig::new(Dim3::linear(16), Dim3::linear(128), 32, 2048),
+                        KernelCost::new(1.0e6, 1.0e5),
+                    )
+                    .with_tag(i)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn warm_replay_issue_loop_is_sub_per_kernel_allocation() {
+    let mut dev = Device::new(DeviceProps::p100());
+    let pool: Vec<_> = (0..4).map(|_| dev.create_stream()).collect();
+    let g = groups(16, 4); // 64 kernels per iteration
+    let plan = ExecPlan::capture_round_robin(
+        "alloc-probe",
+        &g,
+        &pool,
+        ExecMode::Concurrent { streams: 4 },
+    );
+    assert_eq!(plan.num_kernels(), 64);
+
+    // Warm up: two full replays grow every device-internal Vec past the
+    // per-iteration watermark.
+    plan.replay(&mut dev);
+    plan.replay(&mut dev);
+
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    plan.issue(&mut dev);
+    COUNTING.store(false, Ordering::SeqCst);
+    let issue_allocs = ALLOCS.load(Ordering::SeqCst);
+    dev.run();
+
+    assert!(
+        issue_allocs < plan.num_kernels() as u64,
+        "warm replay issued {} kernels with {} allocations — \
+         the issue loop must be sub-per-kernel",
+        plan.num_kernels(),
+        issue_allocs
+    );
+}
+
+#[test]
+fn replay_is_deterministic_across_repeats() {
+    // The same frozen plan replayed on two fresh devices yields the same
+    // elapsed time and the same number of launches — replay carries no
+    // hidden state between iterations.
+    let pool_of = |dev: &mut Device| -> Vec<_> { (0..3).map(|_| dev.create_stream()).collect() };
+    let g = groups(9, 2);
+    let mut d1 = Device::new(DeviceProps::k40c());
+    let p1 = pool_of(&mut d1);
+    let plan = ExecPlan::capture_round_robin("det", &g, &p1, ExecMode::Concurrent { streams: 3 });
+    let r1 = plan.replay(&mut d1);
+    let r2 = plan.replay(&mut d1);
+    assert_eq!(r1.elapsed_ns, r2.elapsed_ns);
+    assert_eq!(r1.kernels, r2.kernels);
+    assert_eq!(dev_trace_len(&d1), 2 * plan.num_kernels());
+}
+
+fn dev_trace_len(dev: &Device) -> usize {
+    dev.trace().len()
+}

@@ -1,0 +1,49 @@
+//! Collective-layer benchmark: host-side cost of simulating a ring
+//! all-reduce (copy chains + fold kernels + fabric event loop) across
+//! ring sizes, bucket sizes and link generations.
+
+use collective::{Bucket, RingComm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use gpu_sim::{Device, DeviceProps, Fabric, LinkProps};
+
+fn run_all_reduce(replicas: usize, bytes: u64, link: LinkProps) -> u64 {
+    let mut devices: Vec<Device> = (0..replicas)
+        .map(|_| Device::new(DeviceProps::p100()))
+        .collect();
+    let mut fabric = Fabric::ring(replicas, link);
+    let mut devs: Vec<&mut Device> = devices.iter_mut().collect();
+    let mut comm = RingComm::new(&mut devs);
+    let bucket = Bucket::new("grad", bytes);
+    let rep = comm
+        .all_reduce(&mut fabric, &mut devs, &bucket)
+        .expect("ring all-reduce on a complete ring cannot fail");
+    fabric.run(&mut devs);
+    rep.bytes_on_wire
+}
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collective_allreduce");
+    for (replicas, kb, link_name) in [
+        (2usize, 256u64, "pcie"),
+        (4, 256, "pcie"),
+        (8, 256, "pcie"),
+        (8, 4096, "pcie"),
+        (8, 4096, "nvlink"),
+    ] {
+        let bytes = kb * 1024;
+        let link = if link_name == "nvlink" {
+            LinkProps::nvlink()
+        } else {
+            LinkProps::pcie3()
+        };
+        g.throughput(Throughput::Bytes(bytes));
+        g.bench_function(
+            BenchmarkId::from_parameter(format!("{replicas}gpu_{kb}KB_{link_name}")),
+            |b| b.iter(|| run_all_reduce(replicas, bytes, link)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_all_reduce);
+criterion_main!(benches);

@@ -21,6 +21,7 @@
 //!   generations GLP4NN across Fermi→Volta device generations
 //!   serving  inference serving with dynamic batching  [--smoke]
 //!   sanitize stream-schedule sanitizer over 4 nets x 3 dispatch modes  [--smoke]
+//!   multi-gpu data-parallel scaling: replicas x interconnect x overlap  [--smoke]
 //!   all      everything above
 //! ```
 //!
@@ -28,6 +29,7 @@
 //! measured wall times of the profiler and MILP solver. See DESIGN.md and
 //! EXPERIMENTS.md.
 
+use glp4nn_bench::multi_gpu;
 use glp4nn_bench::serving;
 use glp4nn_bench::*;
 use gpu_sim::{Arch, DeviceProps, Timeline};
@@ -717,6 +719,29 @@ fn replay(smoke: bool) {
     println!("\nreplay: every timeline identical to the imperative path; zero sanitizer reports");
 }
 
+fn multi_gpu_cmd(smoke: bool) {
+    println!("== Multi-GPU: data-parallel scaling over the simulated fabric ==");
+    println!("(P100 replicas, 4 streams each; ring all-reduce of per-layer gradient buckets;");
+    println!(" overlap = layer k's all-reduce gated behind layer k's backward, issued deferred)\n");
+    let weak = multi_gpu::multi_gpu_sweep(smoke);
+    multi_gpu::print_scaling_table(&weak, "weak scaling (per-replica batch fixed)");
+    assert!(
+        multi_gpu::overlap_dominates(&weak),
+        "overlap scheduling fell behind no-overlap at some operating point"
+    );
+    println!();
+    let strong = multi_gpu::strong_scaling_sweep(smoke);
+    multi_gpu::print_scaling_table(&strong, "strong scaling (global batch fixed, CIFAR10)");
+    assert!(
+        multi_gpu::overlap_dominates(&strong),
+        "overlap scheduling fell behind no-overlap at some operating point"
+    );
+    println!();
+    multi_gpu::print_utilization(smoke);
+    println!("\nmulti-gpu: overlap >= no-overlap throughput at every operating point;");
+    println!("full sweep ran under the sanitizer (per-device + cross-device) with zero reports");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -747,6 +772,7 @@ fn main() {
         "serving" => serving(smoke),
         "sanitize" => sanitize(smoke),
         "replay" => replay(smoke),
+        "multi-gpu" => multi_gpu_cmd(smoke),
         "all" => {
             table1();
             println!();
@@ -783,10 +809,12 @@ fn main() {
             sanitize(smoke);
             println!();
             replay(smoke);
+            println!();
+            multi_gpu_cmd(smoke);
         }
         _ => {
             eprintln!(
-                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|replay|all> [--iters N] [--smoke]"
+                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|replay|multi-gpu|all> [--iters N] [--smoke]"
             );
             std::process::exit(2);
         }

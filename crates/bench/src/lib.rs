@@ -5,6 +5,7 @@
 //! simulated device ([`gpu_sim`]), while `T_p`/`T_a` overheads are real
 //! measured wall times of our profiler and MILP solver.
 
+pub mod multi_gpu;
 pub mod serving;
 
 use glp4nn::Phase;

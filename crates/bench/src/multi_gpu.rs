@@ -1,0 +1,262 @@
+//! Multi-GPU data-parallel scaling sweep: replica count x interconnect x
+//! overlap scheduling, over the paper's four networks.
+//!
+//! All timing is simulated device time. Replicas run with four fixed
+//! streams each (the multi-stream dispatch the framework's plans use);
+//! gradients ride a simulated ring all-reduce over PCIe- or NVLink-like
+//! links. The **weak-scaling** sweep keeps the per-replica batch fixed
+//! (global batch grows with the replica count); the **strong-scaling**
+//! table splits one fixed global batch across replicas.
+
+use gpu_sim::{DeviceProps, LinkProps};
+use nn::{DataParallelTrainer, DispatchMode, SolverConfig, StepReport};
+use sanitizer::SanitizeMode;
+
+/// One operating point of the scaling sweep.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Network name.
+    pub net: &'static str,
+    /// Interconnect label (`pcie` or `nvlink`).
+    pub link: &'static str,
+    /// Replica count.
+    pub replicas: usize,
+    /// Whether communication overlapped backward compute.
+    pub overlap: bool,
+    /// Per-replica batch size.
+    pub batch: usize,
+    /// Steady-state step report.
+    pub report: StepReport,
+    /// Images per simulated second at steady state.
+    pub imgs_per_s: f64,
+}
+
+fn link_props(label: &str) -> LinkProps {
+    match label {
+        "nvlink" => LinkProps::nvlink(),
+        _ => LinkProps::pcie3(),
+    }
+}
+
+/// Run `iters` steps (>= 2 so plans are captured once, then replayed) and
+/// return the steady-state report of the last one.
+fn steady_step(
+    net: &'static str,
+    batch: usize,
+    replicas: usize,
+    link: &'static str,
+    overlap: bool,
+    iters: usize,
+) -> StepReport {
+    let spec = crate::net_spec_with_batch(net, batch, 1);
+    let devices = vec![DeviceProps::p100(); replicas];
+    let mut dp = DataParallelTrainer::new(&spec, &devices, false, SolverConfig::default())
+        .with_link(link_props(link))
+        .with_dispatch(DispatchMode::FixedStreams(4))
+        .with_overlap(overlap)
+        .timing_only()
+        .sanitize(SanitizeMode::Full);
+    let mut last = None;
+    for _ in 0..iters.max(2) {
+        last = Some(dp.step());
+    }
+    let diags = dp.diagnostics();
+    assert!(
+        diags.is_empty(),
+        "{net}/{link}/R{replicas}/overlap={overlap}: sanitizer reported {} diagnostic(s): {}",
+        diags.len(),
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+    last.unwrap()
+}
+
+/// Per-replica utilization of one representative operating point — the
+/// fabric's merged view, not just the slowest device.
+pub fn print_utilization(smoke: bool) {
+    let replicas = 4;
+    let batch = if smoke { 2 } else { 16 };
+    let spec = crate::net_spec_with_batch("CIFAR10", batch, 1);
+    let devices = vec![DeviceProps::p100(); replicas];
+    let mut dp = DataParallelTrainer::new(&spec, &devices, false, SolverConfig::default())
+        .with_link(LinkProps::nvlink())
+        .with_dispatch(DispatchMode::FixedStreams(4))
+        .with_overlap(true)
+        .timing_only();
+    for _ in 0..2 {
+        dp.step();
+    }
+    println!("-- per-replica utilization (CIFAR10, 4 x P100, NVLink, overlap) --");
+    println!(
+        "{:>7} {:>12} {:>10} {:>14} {:>12}",
+        "replica", "kernels", "busy (ms)", "occupancy", "efficiency"
+    );
+    for (r, s) in dp.device_stats().iter().enumerate() {
+        println!(
+            "{:>7} {:>12} {:>10.3} {:>13.1}% {:>11.1}%",
+            r,
+            s.kernels_completed,
+            s.total_kernel_time_ns as f64 / 1e6,
+            s.avg_occupancy * 100.0,
+            s.parallel_efficiency() * 100.0
+        );
+    }
+    let tl = dp.merged_timeline();
+    println!(
+        "merged timeline: {} kernels+copies spanning {:.3} ms (gradient copies interleaved with compute)",
+        tl.len(),
+        tl.span_ns() as f64 / 1e6
+    );
+}
+
+/// The weak-scaling sweep: per-replica batch fixed, 1/2/4/8 replicas,
+/// both links, overlap off and on, four networks.
+pub fn multi_gpu_sweep(smoke: bool) -> Vec<ScalingRow> {
+    let nets: &[(&'static str, usize)] = if smoke {
+        &[
+            ("CIFAR10", 2),
+            ("Siamese", 2),
+            ("CaffeNet", 1),
+            ("GoogLeNet", 1),
+        ]
+    } else {
+        &[
+            ("CIFAR10", 16),
+            ("Siamese", 16),
+            ("CaffeNet", 4),
+            ("GoogLeNet", 2),
+        ]
+    };
+    let replica_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let iters = 2;
+    let mut rows = Vec::new();
+    for &(net, batch) in nets {
+        for link in ["pcie", "nvlink"] {
+            for &replicas in replica_counts {
+                for overlap in [false, true] {
+                    let report = steady_step(net, batch, replicas, link, overlap, iters);
+                    let imgs = (replicas * batch) as f64;
+                    rows.push(ScalingRow {
+                        net,
+                        link,
+                        replicas,
+                        overlap,
+                        batch,
+                        report,
+                        imgs_per_s: imgs / (report.wall_ns as f64 / 1e9),
+                    });
+                }
+            }
+        }
+    }
+    rows
+}
+
+/// Strong scaling: one fixed global batch split across replicas
+/// (CIFAR10 only — the divisible-batch constraint rules out the odd
+/// per-replica shapes of the bigger nets at every count).
+pub fn strong_scaling_sweep(smoke: bool) -> Vec<ScalingRow> {
+    let global = if smoke { 8 } else { 32 };
+    let replica_counts: &[usize] = if smoke { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+    let mut rows = Vec::new();
+    for link in ["pcie", "nvlink"] {
+        for &replicas in replica_counts {
+            for overlap in [false, true] {
+                let batch = global / replicas;
+                let report = steady_step("CIFAR10", batch, replicas, link, overlap, 2);
+                rows.push(ScalingRow {
+                    net: "CIFAR10",
+                    link,
+                    replicas,
+                    overlap,
+                    batch,
+                    report,
+                    imgs_per_s: global as f64 / (report.wall_ns as f64 / 1e9),
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// True iff overlap scheduling is at least as fast as no-overlap at every
+/// matching operating point.
+pub fn overlap_dominates(rows: &[ScalingRow]) -> bool {
+    rows.iter().filter(|r| r.overlap).all(|o| {
+        rows.iter()
+            .filter(|r| {
+                !r.overlap
+                    && r.net == o.net
+                    && r.link == o.link
+                    && r.replicas == o.replicas
+                    && r.batch == o.batch
+            })
+            .all(|e| o.report.wall_ns <= e.report.wall_ns)
+    })
+}
+
+/// Print one sweep as a table, with weak- or strong-scaling efficiency
+/// against the matching 1-replica/no-overlap baseline.
+pub fn print_scaling_table(rows: &[ScalingRow], title: &str) {
+    println!("-- {title} --");
+    println!(
+        "{:<10} {:<7} {:>4} {:>8} {:>6} {:>13} {:>11} {:>11} {:>11} {:>9}",
+        "net",
+        "link",
+        "R",
+        "overlap",
+        "batch",
+        "compute (ms)",
+        "comm (ms)",
+        "wall (ms)",
+        "imgs/s",
+        "scaling"
+    );
+    for r in rows {
+        let base = rows
+            .iter()
+            .find(|b| b.net == r.net && b.link == r.link && b.replicas == 1 && !b.overlap)
+            .map(|b| b.imgs_per_s)
+            .unwrap_or(r.imgs_per_s);
+        println!(
+            "{:<10} {:<7} {:>4} {:>8} {:>6} {:>13.3} {:>11.3} {:>11.3} {:>11.0} {:>8.2}x",
+            r.net,
+            r.link,
+            r.replicas,
+            if r.overlap { "yes" } else { "no" },
+            r.batch,
+            r.report.compute_ns as f64 / 1e6,
+            r.report.comm_ns as f64 / 1e6,
+            r.report.wall_ns as f64 / 1e6,
+            r.imgs_per_s,
+            r.imgs_per_s / base
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_overlap_dominates() {
+        let rows = multi_gpu_sweep(true);
+        assert!(!rows.is_empty());
+        assert!(overlap_dominates(&rows));
+    }
+
+    #[test]
+    fn nvlink_never_slower_than_pcie() {
+        let rows = strong_scaling_sweep(true);
+        for nv in rows.iter().filter(|r| r.link == "nvlink") {
+            let pcie = rows
+                .iter()
+                .find(|r| r.link == "pcie" && r.replicas == nv.replicas && r.overlap == nv.overlap)
+                .unwrap();
+            assert!(nv.report.wall_ns <= pcie.report.wall_ns);
+        }
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! Collective communication for the simulated multi-GPU fabric.
+//!
+//! The GLP4NN paper closes with the intent to "provide a distributed
+//! implementation of the proposed framework" (§6). This crate supplies the
+//! communication layer for that: the classic ring collectives — all-reduce,
+//! reduce-scatter, all-gather, broadcast — expressed as schedules of
+//! peer-to-peer copies ([`gpu_sim::Fabric`]) and local reduction kernels on
+//! per-device communication streams.
+//!
+//! Two layers, with a deliberate division of labour:
+//!
+//! - [`ring`] builds the **timing** schedule. Copies contend for link
+//!   bandwidth, reductions occupy SMs, and everything is ordinary stream
+//!   traffic — visible to timelines, [`gpu_sim::DeviceStats`] and the
+//!   stream-schedule sanitizer.
+//! - [`reduce`] is the **math**: gradients are combined host-side in a
+//!   fixed binary-tree order over a fixed shard count, so the reduced
+//!   values are *bitwise identical for any replica count* — the paper's
+//!   convergence-invariance property carried over to data parallelism.
+//!   Simulated ring reductions never reassociate the actual floats.
+
+pub mod reduce;
+pub mod ring;
+
+pub use reduce::{tree_sum, tree_sum_scaled};
+pub use ring::{Bucket, CommReport, RingComm};

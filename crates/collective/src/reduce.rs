@@ -1,0 +1,156 @@
+//! Fixed-order reduction math.
+//!
+//! Floating-point addition is not associative, so "sum the gradients of
+//! all shards" has as many answers as there are summation orders. A ring
+//! all-reduce over R replicas naturally produces an R-dependent order —
+//! which would make training results depend on the replica count and break
+//! the convergence-invariance contract.
+//!
+//! The fix is the standard one (deterministic reduction trees): pick a
+//! canonical order *per shard set*, not per replica set. The global batch
+//! is split into a fixed number of shards `S` (independent of R); each
+//! shard's gradient is computed separately; the shards are combined by a
+//! **fixed binary tree** over shard indices. However the shards are
+//! distributed over replicas, the tree — and therefore every intermediate
+//! rounding — is identical.
+
+/// Sum `parts` element-wise in a fixed binary-tree order over part
+/// indices.
+///
+/// The tree splits `[0, n)` at the largest power of two strictly below
+/// `n` (for `n` a power of two: exactly in half), recursing on both
+/// halves. The association depends only on `n`, never on how the parts
+/// were produced or grouped, so the result is bitwise reproducible.
+///
+/// All parts must have equal length. Panics on an empty slice.
+pub fn tree_sum(parts: &[&[f32]]) -> Vec<f32> {
+    assert!(!parts.is_empty(), "tree_sum of zero parts");
+    let len = parts[0].len();
+    for p in parts {
+        assert_eq!(p.len(), len, "tree_sum parts must have equal length");
+    }
+    tree(parts)
+}
+
+/// [`tree_sum`] followed by an element-wise multiply by `scale` — the
+/// mean-gradient form (`scale = 1/S`). The scale is applied once, after
+/// the full tree, so it cannot perturb the reduction order.
+pub fn tree_sum_scaled(parts: &[&[f32]], scale: f32) -> Vec<f32> {
+    let mut out = tree_sum(parts);
+    for v in &mut out {
+        *v *= scale;
+    }
+    out
+}
+
+fn tree(parts: &[&[f32]]) -> Vec<f32> {
+    match parts.len() {
+        1 => parts[0].to_vec(),
+        2 => {
+            let mut out = parts[0].to_vec();
+            add_assign(&mut out, parts[1]);
+            out
+        }
+        n => {
+            // Largest power of two strictly below n: both halves non-empty,
+            // and for n a power of two the split is exactly in half.
+            let split = (n - 1).next_power_of_two() / 2;
+            let mut left = tree(&parts[..split]);
+            let right = tree(&parts[split..]);
+            add_assign(&mut left, &right);
+            left
+        }
+    }
+}
+
+fn add_assign(dst: &mut [f32], src: &[f32]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d += *s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pseudo-random but deterministic part values with enough spread in
+    /// magnitude that reassociation visibly changes the rounding.
+    fn parts(n: usize, len: usize) -> Vec<Vec<f32>> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        (0..n)
+            .map(|_| {
+                (0..len)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let u = (state >> 40) as f32 / (1u64 << 24) as f32;
+                        (u - 0.5) * 10f32.powi((state % 7) as i32 - 3)
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn independent_of_part_grouping() {
+        // The trainer's invariance hinges on this: summing all S shards in
+        // one flat tree gives the same bits no matter how the shards were
+        // computed (1 replica with 8 shards, 4 replicas with 2 each, ...).
+        let p = parts(8, 64);
+        let views: Vec<&[f32]> = p.iter().map(Vec::as_slice).collect();
+        let a = tree_sum(&views);
+        let b = tree_sum(&views);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_pairwise_tree_by_hand() {
+        let p = parts(4, 16);
+        let v: Vec<&[f32]> = p.iter().map(Vec::as_slice).collect();
+        let got = tree_sum(&v);
+        for i in 0..16 {
+            let want = (p[0][i] + p[1][i]) + (p[2][i] + p[3][i]);
+            assert_eq!(got[i].to_bits(), want.to_bits(), "element {i}");
+        }
+    }
+
+    #[test]
+    fn differs_from_sequential_order() {
+        // Sanity that the test data is sharp enough to detect order: a
+        // left-to-right fold disagrees with the tree in at least one bit.
+        let p = parts(8, 256);
+        let v: Vec<&[f32]> = p.iter().map(Vec::as_slice).collect();
+        let tree = tree_sum(&v);
+        let mut seq = p[0].clone();
+        for part in &p[1..] {
+            for (d, s) in seq.iter_mut().zip(part) {
+                *d += *s;
+            }
+        }
+        assert!(
+            tree.iter()
+                .zip(&seq)
+                .any(|(a, b)| a.to_bits() != b.to_bits()),
+            "expected at least one reassociation difference"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_part_counts_work() {
+        for n in [1, 3, 5, 6, 7] {
+            let p = parts(n, 8);
+            let v: Vec<&[f32]> = p.iter().map(Vec::as_slice).collect();
+            assert_eq!(tree_sum(&v).len(), 8, "n={n}");
+        }
+    }
+
+    #[test]
+    fn scale_is_applied_after_the_tree() {
+        let p = parts(8, 32);
+        let v: Vec<&[f32]> = p.iter().map(Vec::as_slice).collect();
+        let summed = tree_sum(&v);
+        let scaled = tree_sum_scaled(&v, 0.125);
+        for (s, t) in scaled.iter().zip(&summed) {
+            assert_eq!(s.to_bits(), (t * 0.125).to_bits());
+        }
+    }
+}

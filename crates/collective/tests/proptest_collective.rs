@@ -1,0 +1,93 @@
+//! Property tests for the collective layer: the fixed reduction tree
+//! tracks a high-precision reference, and the simulated ring schedule's
+//! *shape* (copies, traffic, fold count, results) is invariant to link
+//! timing — jitter moves the clock, never the schedule.
+
+use collective::{tree_sum, Bucket, RingComm};
+use gpu_sim::{Device, DeviceProps, Fabric, LinkProps};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `tree_sum` agrees with an f64 reference sum to within the usual
+    /// f32 accumulation tolerance, for any part count and length.
+    #[test]
+    fn tree_sum_tracks_reference(
+        parts in prop::collection::vec(
+            prop::collection::vec(-10.0f32..10.0, 1..40), 1..12),
+        len_seed in 0usize..40,
+    ) {
+        // Force every part to one common length.
+        let len = 1 + len_seed % parts[0].len();
+        let parts: Vec<Vec<f32>> = parts.iter().map(|p| {
+            p.iter().cycle().take(len).copied().collect()
+        }).collect();
+        let views: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
+        let got = tree_sum(&views);
+        for i in 0..len {
+            let reference: f64 = parts.iter().map(|p| p[i] as f64).sum();
+            prop_assert!(
+                (got[i] as f64 - reference).abs() <= 1e-4 * (1.0 + reference.abs()),
+                "element {i}: {} vs reference {reference}", got[i]
+            );
+        }
+    }
+
+    /// The tree is deterministic: summing the same parts twice is bitwise
+    /// identical, regardless of how the slices were produced.
+    #[test]
+    fn tree_sum_is_deterministic(
+        parts in prop::collection::vec(
+            prop::collection::vec(-1.0f32..1.0, 8), 2..16),
+    ) {
+        let views: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
+        let a = tree_sum(&views);
+        let b = tree_sum(&views);
+        prop_assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    /// Link jitter (and the jitter seed) never changes the all-reduce
+    /// schedule: same copies, same wire traffic, same fold-kernel count —
+    /// only the simulated clock moves. And for a fixed seed the whole
+    /// schedule, completion times included, is reproducible.
+    #[test]
+    fn ring_schedule_is_jitter_invariant(
+        replicas in 2usize..=8,
+        kb in 1u64..512,
+        jitter_ns in 1u64..5_000,
+        seed in 0u64..u64::MAX,
+    ) {
+        let bytes = kb * 1024;
+        let run = |jitter: u64, seed: u64| {
+            let mut devices: Vec<Device> = (0..replicas)
+                .map(|_| Device::new(DeviceProps::p100()))
+                .collect();
+            let mut fabric =
+                Fabric::ring(replicas, LinkProps::pcie3().with_jitter(jitter));
+            fabric.set_jitter_seed(seed);
+            let mut devs: Vec<&mut Device> = devices.iter_mut().collect();
+            let mut comm = RingComm::new(&mut devs);
+            let rep = comm
+                .all_reduce(&mut fabric, &mut devs, &Bucket::new("g", bytes))
+                .unwrap();
+            fabric.run(&mut devs);
+            let spans: Vec<_> = rep.copies.iter()
+                .map(|&id| fabric.copy_span(id).expect("all copies must complete"))
+                .collect();
+            (rep.copies.len(), rep.bytes_on_wire, rep.reduce_kernels, spans)
+        };
+        let calm = run(0, seed);
+        let noisy = run(jitter_ns, seed);
+        let replayed = run(jitter_ns, seed);
+        // Schedule shape is identical with and without jitter...
+        prop_assert_eq!(calm.0, noisy.0, "copy count changed under jitter");
+        prop_assert_eq!(calm.1, noisy.1, "wire traffic changed under jitter");
+        prop_assert_eq!(calm.2, noisy.2, "fold count changed under jitter");
+        // ...the ring bound holds...
+        prop_assert_eq!(calm.0, 2 * replicas * (replicas - 1));
+        prop_assert_eq!(calm.2 as usize, replicas * (replicas - 1));
+        // ...and a fixed seed reproduces the exact timing.
+        prop_assert_eq!(noisy.3, replayed.3, "same seed must replay identically");
+    }
+}

@@ -263,6 +263,11 @@ impl ExecPlan {
         self.kernels.len()
     }
 
+    /// The device streams this plan issues onto (the capture pool).
+    pub fn streams(&self) -> &[StreamId] {
+        &self.streams
+    }
+
     /// Number of streams the plan dispatches across.
     pub fn num_streams(&self) -> usize {
         self.streams.len()

@@ -28,11 +28,11 @@ use crate::device::DeviceProps;
 use crate::kernel::{KernelDesc, KernelId};
 use crate::sm::{BlockFootprint, SmState};
 use crate::stats::DeviceStats;
-use crate::stream::{CmdRecord, Command, EventId, EventState, StreamId, StreamState};
+use crate::stream::{CmdRecord, Command, CopyId, EventId, EventState, StreamId, StreamState};
 use crate::timeline::KernelTrace;
 use crate::SimTime;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
 
 /// Kernel lifecycle inside the engine.
@@ -79,6 +79,22 @@ enum EvKind {
     },
     /// A host launch time arrives for a kernel at its stream front.
     HostReady(KernelId),
+    /// The host issue time of a copy's source half arrives.
+    CopyHostReady(CopyId),
+    /// An outbound copy's transfer completed; its source stream unparks.
+    CopyDone(CopyId),
+    /// An inbound copy landed on this device; a waiting `CopyDst` unblocks.
+    CopyArrived(CopyId),
+}
+
+/// Source-side runtime state of a copy on its sending device.
+#[derive(Debug)]
+struct CopySrcState {
+    stream: StreamId,
+    /// Host time at which the enqueue call completed (launch overhead).
+    issued: SimTime,
+    /// A `CopyHostReady` wake-up has been scheduled.
+    notified: bool,
 }
 
 #[derive(Debug, PartialEq, Eq)]
@@ -130,6 +146,15 @@ pub struct Device {
     /// Reusable per-SM block-placement scratch (avoids a heap allocation
     /// per dispatch pass).
     scratch_per_sm: Vec<u64>,
+    /// Source-side state of copies enqueued on this device.
+    copy_src: HashMap<u64, CopySrcState>,
+    /// Copies whose source half reached its stream front, awaiting link
+    /// scheduling by the fabric: `(copy, ready time)`.
+    copy_ready: Vec<(CopyId, SimTime)>,
+    /// Inbound copies that have landed: copy → arrival time.
+    copy_arrived: HashMap<u64, SimTime>,
+    /// Streams blocked at a `CopyDst` front, waiting for the transfer.
+    copy_waiters: HashMap<u64, StreamId>,
 }
 
 impl Device {
@@ -155,6 +180,10 @@ impl Device {
             trace: Vec::new(),
             cmd_log: Vec::new(),
             scratch_per_sm: Vec::new(),
+            copy_src: HashMap::new(),
+            copy_ready: Vec::new(),
+            copy_arrived: HashMap::new(),
+            copy_waiters: HashMap::new(),
         }
     }
 
@@ -332,36 +361,157 @@ impl Device {
 
     /// Run the simulation until all streams drain; returns the final
     /// simulated time.
+    ///
+    /// Streams parked on peer-to-peer copy traffic are left parked — only
+    /// [`Fabric::run`](crate::fabric::Fabric::run) can schedule a link
+    /// transfer, so a lone `run` tolerates them and resumes them later.
     pub fn run(&mut self) -> SimTime {
-        // Kick all streams at the current time.
+        self.kick();
+        while self.step_one() {}
+
+        debug_assert!(
+            self.streams.iter().all(|s| s.is_idle() || s.copy_parked()),
+            "heap drained with non-idle streams (unsatisfiable event wait?)"
+        );
+        if self.streams.iter().all(|s| s.is_idle()) {
+            self.push_sync_marker();
+        }
+        self.clock
+    }
+
+    // ----- fabric stepping API (crate-internal) ----------------------
+
+    /// Kick all streams and the block dispatcher at the current time
+    /// without consuming any heap event ([`run`](Device::run)'s preamble).
+    pub(crate) fn kick(&mut self) {
         for s in 0..self.streams.len() {
             self.advance_stream(StreamId(s as u32));
         }
         self.dispatch(self.clock);
+    }
 
-        while let Some(Reverse(ev)) = self.heap.pop() {
-            debug_assert!(ev.time >= self.clock, "time went backwards");
-            self.clock = ev.time;
-            match ev.kind {
-                EvKind::BurstDone {
-                    kernel,
-                    sm,
-                    count,
-                    demand_milli,
-                } => self.on_burst_done(kernel, sm, count, demand_milli),
-                EvKind::HostReady(k) => self.on_host_ready(k),
+    /// Time of the next pending heap event, if any.
+    pub(crate) fn next_event_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(ev)| ev.time)
+    }
+
+    /// Process exactly one heap event (advancing the clock to it) and
+    /// re-dispatch. Returns `false` when no event was pending.
+    pub(crate) fn step_one(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.clock, "time went backwards");
+        self.clock = ev.time;
+        match ev.kind {
+            EvKind::BurstDone {
+                kernel,
+                sm,
+                count,
+                demand_milli,
+            } => self.on_burst_done(kernel, sm, count, demand_milli),
+            EvKind::HostReady(k) => self.on_host_ready(k),
+            EvKind::CopyHostReady(c) => {
+                if let Some(st) = self.copy_src.get(&c.0) {
+                    let sid = st.stream;
+                    self.advance_stream(sid);
+                }
             }
-            self.dispatch(self.clock);
+            EvKind::CopyDone(c) => self.on_copy_done(c),
+            EvKind::CopyArrived(c) => self.on_copy_arrived(c),
         }
+        self.dispatch(self.clock);
+        true
+    }
 
-        debug_assert!(
-            self.streams.iter().all(|s| s.is_idle()),
-            "heap drained with non-idle streams (unsatisfiable event wait?)"
-        );
+    /// Whether every stream is fully idle (no copy-parked streams either)
+    /// and no events are pending.
+    pub(crate) fn fully_idle(&self) -> bool {
+        self.heap.is_empty() && self.streams.iter().all(|s| s.is_idle())
+    }
+
+    /// Append a [`CmdRecord::Sync`] barrier marker unless one is already
+    /// last. The fabric calls this on every device when a multi-device
+    /// episode drains, so per-device logs stay segment-aligned.
+    pub(crate) fn push_sync_marker(&mut self) {
         if self.cmd_log.last().is_some_and(|c| *c != CmdRecord::Sync) {
             self.cmd_log.push(CmdRecord::Sync);
         }
-        self.clock
+    }
+
+    /// Enqueue the source half of copy `id` on `stream`: pays the host
+    /// launch overhead (it is a driver call) and parks the stream when it
+    /// reaches the front until the fabric finishes the transfer. Returns
+    /// the host issue time.
+    pub(crate) fn enqueue_copy_src(&mut self, stream: StreamId, id: CopyId) -> SimTime {
+        self.host_clock = self.host_clock.max(self.clock) + self.props.launch_overhead_ns;
+        self.cmd_log.push(CmdRecord::CopySrc { stream, copy: id });
+        self.copy_src.insert(
+            id.0,
+            CopySrcState {
+                stream,
+                issued: self.host_clock,
+                notified: false,
+            },
+        );
+        self.streams[stream.0 as usize]
+            .queue
+            .push_back(Command::CopySrc(id));
+        self.host_clock
+    }
+
+    /// Enqueue the destination half of copy `id` on `stream`: a pure wait
+    /// marker (no host launch overhead, like an event wait).
+    pub(crate) fn enqueue_copy_dst(&mut self, stream: StreamId, id: CopyId) {
+        self.cmd_log.push(CmdRecord::CopyDst { stream, copy: id });
+        self.streams[stream.0 as usize]
+            .queue
+            .push_back(Command::CopyDst(id));
+    }
+
+    /// Take the copies whose source half has reached its stream front
+    /// since the last call (ready for link scheduling), with ready times.
+    pub(crate) fn take_ready_copies(&mut self) -> Vec<(CopyId, SimTime)> {
+        std::mem::take(&mut self.copy_ready)
+    }
+
+    /// The fabric scheduled copy `id` (sourced here) to complete at `end`:
+    /// wake the parked source stream then.
+    pub(crate) fn finish_copy_src(&mut self, id: CopyId, end: SimTime) {
+        self.push_ev(end.max(self.clock), EvKind::CopyDone(id));
+    }
+
+    /// The fabric scheduled copy `id` (landing here) to arrive at `end`:
+    /// complete the destination-side wait then.
+    pub(crate) fn finish_copy_dst(&mut self, id: CopyId, end: SimTime) {
+        self.push_ev(end.max(self.clock), EvKind::CopyArrived(id));
+    }
+
+    /// Append a fabric-constructed trace entry (a completed copy, rendered
+    /// in the timeline exactly like a kernel).
+    pub(crate) fn push_trace_entry(&mut self, trace: KernelTrace) {
+        self.trace.push(trace);
+    }
+
+    fn on_copy_done(&mut self, id: CopyId) {
+        let st = self.copy_src.get(&id.0).expect("copy source state");
+        let sid = st.stream;
+        debug_assert_eq!(self.streams[sid.0 as usize].copy_inflight, Some(id));
+        self.streams[sid.0 as usize].copy_inflight = None;
+        self.advance_stream(sid);
+    }
+
+    fn on_copy_arrived(&mut self, id: CopyId) {
+        self.copy_arrived.insert(id.0, self.clock);
+        if let Some(sid) = self.copy_waiters.remove(&id.0) {
+            let s = sid.0 as usize;
+            if let Some(Command::CopyDst(c)) = self.streams[s].queue.front() {
+                if *c == id {
+                    self.streams[s].queue.pop_front();
+                }
+            }
+            self.advance_stream(sid);
+        }
     }
 
     /// Convenience: wait for everything previously enqueued, like
@@ -404,8 +554,8 @@ impl Device {
     fn advance_stream(&mut self, sid: StreamId) {
         let s = sid.0 as usize;
         loop {
-            if self.streams[s].inflight.is_some() {
-                return; // in-order: wait for the running kernel
+            if self.streams[s].inflight.is_some() || self.streams[s].copy_inflight.is_some() {
+                return; // in-order: wait for the running kernel / copy
             }
             let Some(cmd) = self.streams[s].queue.front() else {
                 self.streams[s].last_idle = self.clock;
@@ -447,6 +597,35 @@ impl Device {
                             }
                             return;
                         }
+                    }
+                }
+                Command::CopySrc(id) => {
+                    let id = *id;
+                    let st = self.copy_src.get_mut(&id.0).expect("copy source state");
+                    if st.issued > self.clock {
+                        // Host has not issued this copy yet.
+                        if !st.notified {
+                            st.notified = true;
+                            let t = st.issued;
+                            self.push_ev(t, EvKind::CopyHostReady(id));
+                        }
+                        return;
+                    }
+                    self.streams[s].queue.pop_front();
+                    self.streams[s].copy_inflight = Some(id);
+                    // Hand to the fabric for link scheduling; the stream
+                    // stays parked until `CopyDone`.
+                    self.copy_ready.push((id, self.clock));
+                    return;
+                }
+                Command::CopyDst(id) => {
+                    let id = *id;
+                    if self.copy_arrived.contains_key(&id.0) {
+                        self.streams[s].queue.pop_front();
+                    } else {
+                        // Block until the transfer lands.
+                        self.copy_waiters.insert(id.0, sid);
+                        return;
                     }
                 }
             }

@@ -1,0 +1,801 @@
+//! A multi-GPU interconnect fabric: N devices joined by point-to-point
+//! links, with first-class asynchronous peer-to-peer copies.
+//!
+//! The fabric is the missing piece between single-device GLP4NN scheduling
+//! and data-parallel training: collectives (`crates/collective`) are built
+//! as chains of [`CopyP2P`](Fabric::copy_p2p) commands plus local reduction
+//! kernels, and the comm/compute overlap that makes data parallelism scale
+//! is exactly the stream/event machinery the single-device engine already
+//! has.
+//!
+//! Model:
+//!
+//! - A **link** is a directed `(src, dst)` connection with a bandwidth, a
+//!   fixed latency, and optional deterministic jitter ([`LinkProps`];
+//!   [`pcie3`](LinkProps::pcie3) and [`nvlink`](LinkProps::nvlink)
+//!   presets). Links are independent — NVLink-style point-to-point — and a
+//!   link serializes the transfers scheduled on it (FIFO, busy-until).
+//! - A **copy** occupies a source stream (like `cudaMemcpyPeerAsync`: the
+//!   sending stream is busy for the whole transfer) and completes a
+//!   destination-side wait marker, giving the same happens-before edge an
+//!   event wait would. Copies pay the host launch overhead on the source
+//!   device, appear in its command log ([`CmdRecord::CopySrc`] /
+//!   [`CmdRecord::CopyDst`]) and in its timeline like kernels do.
+//! - [`Fabric::run`] is a global discrete-event loop: it always steps the
+//!   device with the earliest pending event, so cross-device timestamps
+//!   are processed in nondecreasing global order and copy completions
+//!   never time-travel. It is fully deterministic.
+//!
+//! The fabric does **not** own its devices — callers keep them (an
+//! execution context owns its `Device`) and lend `&mut [&mut Device]` per
+//! call, indexed by the device's position in the slice.
+
+use crate::engine::Device;
+use crate::kernel::{KernelDesc, KernelId, LaunchConfig, MemAccess};
+use crate::stats::DeviceStats;
+use crate::stream::{CopyId, StreamId};
+use crate::timeline::{KernelTrace, Timeline};
+use crate::SimTime;
+
+/// Properties of one directed link between two devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProps {
+    /// Link bandwidth in GB/s (1 GB = 1e9 bytes).
+    pub bandwidth_gbps: f64,
+    /// Fixed per-transfer latency in ns.
+    pub latency_ns: SimTime,
+    /// Maximum deterministic timing jitter added per transfer, in ns
+    /// (a pseudo-random value in `[0, jitter_ns]` derived from the copy
+    /// id — repeatable, and never affects data, only timing).
+    pub jitter_ns: SimTime,
+}
+
+impl LinkProps {
+    /// A PCIe 3.0 x16-like link: ~12 GB/s effective, ~1.3 µs latency.
+    pub fn pcie3() -> Self {
+        LinkProps {
+            bandwidth_gbps: 12.0,
+            latency_ns: 1_300,
+            jitter_ns: 0,
+        }
+    }
+
+    /// An NVLink-like link (P100 generation): ~40 GB/s, ~700 ns latency.
+    pub fn nvlink() -> Self {
+        LinkProps {
+            bandwidth_gbps: 40.0,
+            latency_ns: 700,
+            jitter_ns: 0,
+        }
+    }
+
+    /// The same link with timing jitter up to `ns` per transfer.
+    pub fn with_jitter(mut self, ns: SimTime) -> Self {
+        self.jitter_ns = ns;
+        self
+    }
+
+    /// Pure transfer duration of `bytes` over this link (latency + wire
+    /// time, before jitter), in ns.
+    pub fn transfer_ns(&self, bytes: u64) -> SimTime {
+        let wire = (bytes as f64 / self.bandwidth_gbps).ceil() as SimTime;
+        self.latency_ns + wire.max(1)
+    }
+}
+
+/// Typed error for cross-device misuse, mirroring `StreamError` /
+/// `GraphError` elsewhere in the workspace: misconfigured topologies are
+/// caller bugs we want surfaced as values, not panics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricError {
+    /// A device index is outside the fabric.
+    UnknownDevice {
+        /// Offending index.
+        device: usize,
+        /// Number of devices in the fabric.
+        num_devices: usize,
+    },
+    /// Source and destination are the same device (use an ordinary kernel
+    /// or event, not the fabric, for intra-device data movement).
+    SelfCopy {
+        /// The device named on both sides.
+        device: usize,
+    },
+    /// No link exists between the two devices.
+    NotConnected {
+        /// Source device.
+        src: usize,
+        /// Destination device.
+        dst: usize,
+    },
+    /// The stream does not exist on that device — typically a stream id
+    /// created on *another* device's stream table.
+    UnknownStream {
+        /// Device the operation targeted.
+        device: usize,
+        /// The invalid stream.
+        stream: StreamId,
+        /// Number of streams the device actually has.
+        num_streams: usize,
+    },
+}
+
+impl std::fmt::Display for FabricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FabricError::UnknownDevice {
+                device,
+                num_devices,
+            } => write!(
+                f,
+                "unknown device {device}: fabric has {num_devices} devices"
+            ),
+            FabricError::SelfCopy { device } => {
+                write!(f, "self-copy on device {device}: src and dst are the same")
+            }
+            FabricError::NotConnected { src, dst } => {
+                write!(f, "no link from device {src} to device {dst}")
+            }
+            FabricError::UnknownStream {
+                device,
+                stream,
+                num_streams,
+            } => write!(
+                f,
+                "stream {} does not exist on device {device} ({num_streams} streams) — \
+                 was it created on another device?",
+                stream.raw()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+/// Description of one peer-to-peer copy: endpoints, streams, and the
+/// declared buffer accesses (source read, destination write) the schedule
+/// sanitizer checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CopyDesc {
+    /// Name shown in timelines / diagnostics (e.g. `p2p:0->1 bucket3`).
+    pub name: String,
+    /// Source device index within the fabric.
+    pub src: usize,
+    /// Destination device index within the fabric.
+    pub dst: usize,
+    /// Stream on the source device the transfer occupies.
+    pub src_stream: StreamId,
+    /// Stream on the destination device that waits for the arrival.
+    pub dst_stream: StreamId,
+    /// Bytes transferred.
+    pub bytes: u64,
+    /// Declared read on the source device.
+    pub src_access: MemAccess,
+    /// Declared write on the destination device.
+    pub dst_access: MemAccess,
+}
+
+impl CopyDesc {
+    /// Build a copy description; `bytes` defaults to the length of the
+    /// source range.
+    pub fn new(
+        name: &str,
+        (src, src_stream, src_access): (usize, StreamId, MemAccess),
+        (dst, dst_stream, dst_access): (usize, StreamId, MemAccess),
+    ) -> Self {
+        CopyDesc {
+            name: name.to_string(),
+            src,
+            dst,
+            src_stream,
+            dst_stream,
+            bytes: src_access.range.len(),
+            src_access,
+            dst_access,
+        }
+    }
+}
+
+/// One scheduled copy: its description plus resolved timing.
+#[derive(Debug, Clone)]
+struct CopyRecord {
+    desc: CopyDesc,
+    /// Host time the source-side enqueue completed.
+    launch_ns: SimTime,
+    /// Transfer start (after link queueing), set by [`Fabric::run`].
+    start: Option<SimTime>,
+    /// Transfer end, set by [`Fabric::run`].
+    end: Option<SimTime>,
+}
+
+/// A fabric of N devices and the links between them.
+///
+/// See the [module docs](self) for the model. Devices are *not* owned;
+/// every operation takes the device slice, indexed by fabric position.
+#[derive(Debug)]
+pub struct Fabric {
+    num_devices: usize,
+    /// `links[src][dst]`.
+    links: Vec<Vec<Option<LinkProps>>>,
+    /// Busy-until time per directed link (transfers on a link serialize).
+    link_busy: Vec<Vec<SimTime>>,
+    copies: Vec<CopyRecord>,
+    jitter_seed: u64,
+}
+
+impl Fabric {
+    /// A fabric of `n` devices with no links (connect them explicitly).
+    pub fn new(n: usize) -> Self {
+        Fabric {
+            num_devices: n,
+            links: vec![vec![None; n]; n],
+            link_busy: vec![vec![0; n]; n],
+            copies: Vec::new(),
+            jitter_seed: 0,
+        }
+    }
+
+    /// A fully connected fabric: every ordered pair joined by `link`.
+    pub fn fully_connected(n: usize, link: LinkProps) -> Self {
+        let mut f = Fabric::new(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    f.links[a][b] = Some(link);
+                }
+            }
+        }
+        f
+    }
+
+    /// A ring fabric: device `i` linked to `(i+1) % n` and back.
+    pub fn ring(n: usize, link: LinkProps) -> Self {
+        let mut f = Fabric::new(n);
+        for a in 0..n {
+            let b = (a + 1) % n;
+            if a != b {
+                f.links[a][b] = Some(link);
+                f.links[b][a] = Some(link);
+            }
+        }
+        f
+    }
+
+    /// Connect `a` and `b` in both directions with `link`.
+    pub fn connect(&mut self, a: usize, b: usize, link: LinkProps) -> Result<(), FabricError> {
+        for d in [a, b] {
+            if d >= self.num_devices {
+                return Err(FabricError::UnknownDevice {
+                    device: d,
+                    num_devices: self.num_devices,
+                });
+            }
+        }
+        if a == b {
+            return Err(FabricError::SelfCopy { device: a });
+        }
+        self.links[a][b] = Some(link);
+        self.links[b][a] = Some(link);
+        Ok(())
+    }
+
+    /// Seed for the deterministic per-copy jitter hash.
+    pub fn set_jitter_seed(&mut self, seed: u64) {
+        self.jitter_seed = seed;
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.num_devices
+    }
+
+    /// The directed link from `src` to `dst`, if connected.
+    pub fn link(&self, src: usize, dst: usize) -> Option<&LinkProps> {
+        self.links.get(src)?.get(dst)?.as_ref()
+    }
+
+    /// Number of copies enqueued so far.
+    pub fn num_copies(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Description of a previously enqueued copy.
+    pub fn copy_desc(&self, id: CopyId) -> &CopyDesc {
+        &self.copies[id.raw() as usize].desc
+    }
+
+    /// Resolved `(start, end)` of a copy's transfer, after [`run`].
+    ///
+    /// [`run`]: Fabric::run
+    pub fn copy_span(&self, id: CopyId) -> Option<(SimTime, SimTime)> {
+        let rec = &self.copies[id.raw() as usize];
+        match (rec.start, rec.end) {
+            (Some(s), Some(e)) => Some((s, e)),
+            _ => None,
+        }
+    }
+
+    /// Validate that `device`/`stream` name an existing stream of an
+    /// existing device.
+    fn check_stream(
+        &self,
+        devs: &[&mut Device],
+        device: usize,
+        stream: StreamId,
+    ) -> Result<(), FabricError> {
+        if device >= self.num_devices || device >= devs.len() {
+            return Err(FabricError::UnknownDevice {
+                device,
+                num_devices: self.num_devices.min(devs.len()),
+            });
+        }
+        let n = devs[device].num_streams();
+        if stream.raw() as usize >= n {
+            return Err(FabricError::UnknownStream {
+                device,
+                stream,
+                num_streams: n,
+            });
+        }
+        Ok(())
+    }
+
+    /// Launch a kernel on `device`'s `stream`, validating that the stream
+    /// actually belongs to that device (the classic multi-GPU bug of using
+    /// a stream created under another device).
+    pub fn launch_on(
+        &self,
+        devs: &mut [&mut Device],
+        device: usize,
+        stream: StreamId,
+        desc: KernelDesc,
+    ) -> Result<KernelId, FabricError> {
+        self.check_stream(devs, device, stream)?;
+        Ok(devs[device].launch(stream, desc))
+    }
+
+    /// Enqueue an asynchronous peer-to-peer copy: the source stream is
+    /// occupied for the whole transfer, the destination stream blocks at
+    /// its `CopyDst` marker until the data lands, and the transfer itself
+    /// is scheduled on the `(src, dst)` link by [`run`](Fabric::run),
+    /// contending FIFO with other transfers on the same link.
+    pub fn copy_p2p(
+        &mut self,
+        devs: &mut [&mut Device],
+        desc: CopyDesc,
+    ) -> Result<CopyId, FabricError> {
+        if desc.src == desc.dst {
+            return Err(FabricError::SelfCopy { device: desc.src });
+        }
+        self.check_stream(devs, desc.src, desc.src_stream)?;
+        self.check_stream(devs, desc.dst, desc.dst_stream)?;
+        if self.links[desc.src][desc.dst].is_none() {
+            return Err(FabricError::NotConnected {
+                src: desc.src,
+                dst: desc.dst,
+            });
+        }
+        let id = CopyId(self.copies.len() as u64);
+        let launch_ns = devs[desc.src].enqueue_copy_src(desc.src_stream, id);
+        devs[desc.dst].enqueue_copy_dst(desc.dst_stream, id);
+        self.copies.push(CopyRecord {
+            desc,
+            launch_ns,
+            start: None,
+            end: None,
+        });
+        Ok(id)
+    }
+
+    /// Deterministic per-copy jitter in `[0, jitter_ns]` (splitmix64 of
+    /// the copy id and fabric seed).
+    fn jitter(&self, id: CopyId, jitter_ns: SimTime) -> SimTime {
+        if jitter_ns == 0 {
+            return 0;
+        }
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(id.raw().wrapping_mul(0xbf58_476d_1ce4_e5b9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        z % (jitter_ns + 1)
+    }
+
+    /// Schedule a ready copy on its link and wake both endpoint devices at
+    /// the transfer end.
+    fn resolve_copy(&mut self, devs: &mut [&mut Device], id: CopyId, ready: SimTime) {
+        let idx = id.raw() as usize;
+        let (src, dst, bytes, name, stream, launch_ns) = {
+            let d = &self.copies[idx].desc;
+            (
+                d.src,
+                d.dst,
+                d.bytes,
+                d.name.clone(),
+                d.src_stream,
+                self.copies[idx].launch_ns,
+            )
+        };
+        let link = self.links[src][dst].expect("link validated at enqueue");
+        let start = ready.max(self.link_busy[src][dst]);
+        let end = start + link.transfer_ns(bytes) + self.jitter(id, link.jitter_ns);
+        self.link_busy[src][dst] = end;
+        self.copies[idx].start = Some(start);
+        self.copies[idx].end = Some(end);
+        // The copy shows up in the source device's timeline like a kernel
+        // (tagged with its fabric-wide copy id).
+        devs[src].push_trace_entry(KernelTrace {
+            id: KernelId(u64::MAX - id.raw()),
+            name,
+            stream,
+            launch: LaunchConfig::new(
+                crate::kernel::Dim3::linear(1),
+                crate::kernel::Dim3::linear(1),
+                0,
+                0,
+            ),
+            tag: id.raw(),
+            launch_ns,
+            start_ns: start,
+            end_ns: end,
+        });
+        devs[src].finish_copy_src(id, end);
+        devs[dst].finish_copy_dst(id, end);
+    }
+
+    /// Run all devices to completion under a single global discrete-event
+    /// loop, scheduling link transfers as their source halves become
+    /// ready. Returns the latest device clock.
+    ///
+    /// Equivalent to [`Device::run`] per device when no copies are
+    /// pending; with copies, always steps the globally earliest event so
+    /// completions propagate across devices in time order.
+    pub fn run(&mut self, devs: &mut [&mut Device]) -> SimTime {
+        assert_eq!(
+            devs.len(),
+            self.num_devices,
+            "fabric of {} devices got {} device handles",
+            self.num_devices,
+            devs.len()
+        );
+        for d in devs.iter_mut() {
+            d.kick();
+        }
+        loop {
+            // Resolve copies whose source half reached its stream front,
+            // in deterministic (ready time, copy id) order.
+            let mut ready: Vec<(SimTime, CopyId)> = Vec::new();
+            for d in devs.iter_mut() {
+                for (id, t) in d.take_ready_copies() {
+                    ready.push((t, id));
+                }
+            }
+            ready.sort_unstable();
+            for (t, id) in ready {
+                self.resolve_copy(devs, id, t);
+            }
+            // Step the device with the earliest pending event.
+            let next = devs
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| d.next_event_time().map(|t| (t, i)))
+                .min();
+            match next {
+                Some((_, i)) => {
+                    devs[i].step_one();
+                }
+                None => break,
+            }
+        }
+        for d in devs.iter_mut() {
+            debug_assert!(
+                d.fully_idle(),
+                "fabric drained with a non-idle device (missing copy half or \
+                 unsatisfiable wait?)"
+            );
+            d.push_sync_marker();
+        }
+        devs.iter().map(|d| d.now()).max().unwrap_or(0)
+    }
+
+    /// Per-device utilization statistics.
+    pub fn stats(&self, devs: &[&Device]) -> Vec<DeviceStats> {
+        devs.iter().map(|d| d.stats()).collect()
+    }
+
+    /// A merged timeline across devices: stream rows are offset per device
+    /// so device `i`'s streams render as a contiguous band under a shared
+    /// time axis.
+    pub fn merged_timeline(&self, devs: &[&Device]) -> Timeline {
+        let mut offset = 0u32;
+        let mut traces: Vec<KernelTrace> = Vec::new();
+        for d in devs {
+            for t in d.trace() {
+                let mut t = t.clone();
+                t.stream = StreamId(offset + t.stream.raw());
+                traces.push(t);
+            }
+            offset += d.num_streams() as u32;
+        }
+        traces.sort_by_key(|t| (t.start_ns, t.stream));
+        Timeline::new(&traces)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceProps;
+    use crate::kernel::{BufferId, ByteRange, Dim3, KernelCost, KernelDesc};
+
+    fn mem(label: &str, len: u64) -> MemAccess {
+        MemAccess {
+            buffer: BufferId::from_label(label),
+            range: ByteRange::new(0, len),
+        }
+    }
+
+    fn kernel(name: &str, blocks: u32, flops: f64) -> KernelDesc {
+        KernelDesc::new(
+            name,
+            LaunchConfig::new(Dim3::linear(blocks), Dim3::linear(256), 32, 0),
+            KernelCost::new(flops, flops / 4.0),
+        )
+    }
+
+    fn two_devices() -> Vec<Device> {
+        vec![
+            Device::new(DeviceProps::p100()),
+            Device::new(DeviceProps::p100()),
+        ]
+    }
+
+    fn handles(devs: &mut [Device]) -> Vec<&mut Device> {
+        devs.iter_mut().collect()
+    }
+
+    #[test]
+    fn simple_copy_completes_and_orders_consumer() {
+        let mut devs = two_devices();
+        let s0 = devs[0].create_stream();
+        let s1 = devs[1].create_stream();
+        let mut fab = Fabric::fully_connected(2, LinkProps::nvlink());
+        let mut h = handles(&mut devs);
+        let id = fab
+            .copy_p2p(
+                &mut h,
+                CopyDesc::new(
+                    "p2p",
+                    (0, s0, mem("src", 1 << 20)),
+                    (1, s1, mem("dst", 1 << 20)),
+                ),
+            )
+            .unwrap();
+        // Consumer kernel on the destination stream must start after the
+        // copy lands.
+        let k = h[1].launch(s1, kernel("consume", 8, 1.0e6));
+        fab.run(&mut h);
+        let (c_start, c_end) = fab.copy_span(id).unwrap();
+        let (k_start, _) = h[1].kernel_span(k).unwrap();
+        assert!(c_end > c_start);
+        assert!(
+            k_start >= c_end,
+            "consumer started at {k_start} before copy landed at {c_end}"
+        );
+        // The copy shows in the source device's trace like a kernel.
+        assert!(h[0].trace().iter().any(|t| t.name == "p2p"));
+    }
+
+    #[test]
+    fn copy_duration_follows_link_bandwidth() {
+        let span_for = |link: LinkProps| {
+            let mut devs = two_devices();
+            let s0 = devs[0].create_stream();
+            let s1 = devs[1].create_stream();
+            let mut fab = Fabric::fully_connected(2, link);
+            let mut h = handles(&mut devs);
+            let id = fab
+                .copy_p2p(
+                    &mut h,
+                    CopyDesc::new(
+                        "p2p",
+                        (0, s0, mem("src", 64 << 20)),
+                        (1, s1, mem("dst", 64 << 20)),
+                    ),
+                )
+                .unwrap();
+            fab.run(&mut h);
+            let (s, e) = fab.copy_span(id).unwrap();
+            e - s
+        };
+        let pcie = span_for(LinkProps::pcie3());
+        let nvl = span_for(LinkProps::nvlink());
+        assert!(
+            pcie > nvl * 2,
+            "PCIe transfer ({pcie} ns) should be ≫ NVLink ({nvl} ns)"
+        );
+    }
+
+    #[test]
+    fn same_link_copies_serialize_different_links_overlap() {
+        // Two big copies 0→1 on the same link serialize; the reverse
+        // direction is a different link and may overlap.
+        let mut devs = two_devices();
+        let s0a = devs[0].create_stream();
+        let s0b = devs[0].create_stream();
+        let s1 = devs[1].create_stream();
+        let s1b = devs[1].create_stream();
+        let s1c = devs[1].create_stream();
+        let mut fab = Fabric::fully_connected(2, LinkProps::pcie3());
+        let mut h = handles(&mut devs);
+        let a = fab
+            .copy_p2p(
+                &mut h,
+                CopyDesc::new(
+                    "a",
+                    (0, s0a, mem("a.src", 32 << 20)),
+                    (1, s1, mem("a.dst", 32 << 20)),
+                ),
+            )
+            .unwrap();
+        let b = fab
+            .copy_p2p(
+                &mut h,
+                CopyDesc::new(
+                    "b",
+                    (0, s0b, mem("b.src", 32 << 20)),
+                    (1, s1b, mem("b.dst", 32 << 20)),
+                ),
+            )
+            .unwrap();
+        let c = fab
+            .copy_p2p(
+                &mut h,
+                CopyDesc::new(
+                    "c",
+                    (1, s1c, mem("c.src", 32 << 20)),
+                    (0, s0b, mem("c.dst", 32 << 20)),
+                ),
+            )
+            .unwrap();
+        fab.run(&mut h);
+        let (a_s, a_e) = fab.copy_span(a).unwrap();
+        let (b_s, b_e) = fab.copy_span(b).unwrap();
+        let (c_s, c_e) = fab.copy_span(c).unwrap();
+        let overlap = |x: (SimTime, SimTime), y: (SimTime, SimTime)| {
+            x.1.min(y.1).saturating_sub(x.0.max(y.0))
+        };
+        assert_eq!(
+            overlap((a_s, a_e), (b_s, b_e)),
+            0,
+            "same-link transfers must serialize: a={a_s}-{a_e} b={b_s}-{b_e}"
+        );
+        assert!(
+            overlap((a_s, a_e), (c_s, c_e)) > 0 || overlap((b_s, b_e), (c_s, c_e)) > 0,
+            "reverse-direction transfer should overlap: c={c_s}-{c_e}"
+        );
+    }
+
+    #[test]
+    fn typed_errors_for_misuse() {
+        let mut devs = two_devices();
+        let s0 = devs[0].create_stream();
+        let mut fab = Fabric::new(2); // no links
+        let mut h = handles(&mut devs);
+        // Self copy.
+        let err = fab
+            .copy_p2p(
+                &mut h,
+                CopyDesc::new("x", (0, s0, mem("a", 8)), (0, s0, mem("b", 8))),
+            )
+            .unwrap_err();
+        assert_eq!(err, FabricError::SelfCopy { device: 0 });
+        // Unconnected devices.
+        let err = fab
+            .copy_p2p(
+                &mut h,
+                CopyDesc::new("x", (0, s0, mem("a", 8)), (1, StreamId(0), mem("b", 8))),
+            )
+            .unwrap_err();
+        assert_eq!(err, FabricError::NotConnected { src: 0, dst: 1 });
+        // Stream created on device 0 does not exist on device 1.
+        fab.connect(0, 1, LinkProps::pcie3()).unwrap();
+        let err = fab
+            .copy_p2p(
+                &mut h,
+                CopyDesc::new("x", (0, s0, mem("a", 8)), (1, s0, mem("b", 8))),
+            )
+            .unwrap_err();
+        assert!(matches!(err, FabricError::UnknownStream { device: 1, .. }));
+        let err = fab
+            .launch_on(&mut h, 1, s0, kernel("k", 1, 1.0e5))
+            .unwrap_err();
+        assert!(matches!(err, FabricError::UnknownStream { device: 1, .. }));
+        // Unknown device index.
+        let err = fab
+            .launch_on(&mut h, 7, StreamId(0), kernel("k", 1, 1.0e5))
+            .unwrap_err();
+        assert!(matches!(err, FabricError::UnknownDevice { device: 7, .. }));
+        assert!(err.to_string().contains("unknown device 7"));
+        // connect() validates too.
+        assert!(matches!(
+            Fabric::new(2).connect(0, 5, LinkProps::pcie3()),
+            Err(FabricError::UnknownDevice { device: 5, .. })
+        ));
+        assert!(matches!(
+            Fabric::new(2).connect(1, 1, LinkProps::pcie3()),
+            Err(FabricError::SelfCopy { device: 1 })
+        ));
+    }
+
+    #[test]
+    fn jitter_perturbs_timing_deterministically() {
+        let run_with_seed = |seed: u64| {
+            let mut devs = two_devices();
+            let s0 = devs[0].create_stream();
+            let s1 = devs[1].create_stream();
+            let mut fab = Fabric::fully_connected(2, LinkProps::pcie3().with_jitter(10_000));
+            fab.set_jitter_seed(seed);
+            let mut h = handles(&mut devs);
+            let id = fab
+                .copy_p2p(
+                    &mut h,
+                    CopyDesc::new(
+                        "p2p",
+                        (0, s0, mem("src", 1 << 20)),
+                        (1, s1, mem("dst", 1 << 20)),
+                    ),
+                )
+                .unwrap();
+            fab.run(&mut h);
+            fab.copy_span(id).unwrap()
+        };
+        assert_eq!(run_with_seed(1), run_with_seed(1), "same seed, same timing");
+        assert_ne!(
+            run_with_seed(1),
+            run_with_seed(2),
+            "jitter responds to seed"
+        );
+    }
+
+    #[test]
+    fn merged_timeline_offsets_streams_per_device() {
+        let mut devs = two_devices();
+        let s0 = devs[0].create_stream();
+        let s1 = devs[1].create_stream();
+        let mut fab = Fabric::fully_connected(2, LinkProps::nvlink());
+        let mut h = handles(&mut devs);
+        h[0].launch(s0, kernel("a", 8, 1.0e6));
+        h[1].launch(s1, kernel("b", 8, 1.0e6));
+        fab.run(&mut h);
+        let views: Vec<&Device> = devs.iter().collect();
+        let tl = fab.merged_timeline(&views);
+        assert_eq!(tl.len(), 2);
+        let ascii = tl.render_ascii(40);
+        // Device 1's stream 1 renders offset by device 0's stream count.
+        assert!(ascii.contains("stream  1"), "{ascii}");
+        assert!(ascii.contains("stream  3"), "{ascii}");
+        let stats = fab.stats(&views);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].kernels_completed, 1);
+    }
+
+    #[test]
+    fn per_device_run_is_unchanged_without_copies() {
+        // Fabric::run over independent devices == Device::run per device.
+        let mut a = Device::new(DeviceProps::p100());
+        let s = a.create_stream();
+        a.launch(s, kernel("k", 16, 2.0e6));
+        let solo = a.run();
+
+        let mut devs = two_devices();
+        let s0 = devs[0].create_stream();
+        devs[0].launch(s0, kernel("k", 16, 2.0e6));
+        let mut fab = Fabric::fully_connected(2, LinkProps::nvlink());
+        let mut h = handles(&mut devs);
+        let end = fab.run(&mut h);
+        assert_eq!(end, solo);
+    }
+}

@@ -48,6 +48,7 @@
 pub mod contention;
 pub mod device;
 pub mod engine;
+pub mod fabric;
 pub mod kernel;
 pub mod occupancy;
 pub mod sm;
@@ -57,13 +58,14 @@ pub mod timeline;
 
 pub use device::{Arch, ArchFeatures, DeviceProps};
 pub use engine::{Device, LaunchHook};
+pub use fabric::{CopyDesc, Fabric, FabricError, LinkProps};
 pub use kernel::{
     AccessConflict, AccessSet, BufferId, ByteRange, Dim3, KernelCost, KernelDesc, KernelId,
     LaunchConfig, MemAccess,
 };
 pub use occupancy::OccupancyResult;
 pub use stats::{stats_by_kernel, DeviceStats, KernelClassStats};
-pub use stream::{CmdRecord, EventId, StreamId};
+pub use stream::{CmdRecord, CopyId, EventId, StreamId};
 pub use timeline::{KernelTrace, Timeline};
 
 /// Simulated time in nanoseconds.

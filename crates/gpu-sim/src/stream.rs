@@ -40,6 +40,19 @@ impl EventId {
     }
 }
 
+/// Identifier of a peer-to-peer copy. Allocated by the
+/// [`Fabric`](crate::fabric::Fabric), unique across all devices of a
+/// fabric (unlike [`KernelId`]s / [`EventId`]s, which are per-device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CopyId(pub(crate) u64);
+
+impl CopyId {
+    /// Raw index (fabric-wide enqueue order).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// One command in a stream's FIFO.
 #[derive(Debug, Clone)]
 pub enum Command {
@@ -50,6 +63,13 @@ pub enum Command {
     RecordEvent(EventId),
     /// Block this stream until `EventId` completes.
     WaitEvent(EventId),
+    /// Source half of a peer-to-peer copy: when it reaches the stream
+    /// front the transfer may start (the fabric schedules it on the link);
+    /// the stream stays busy until the transfer completes.
+    CopySrc(CopyId),
+    /// Destination half of a peer-to-peer copy: blocks the stream until
+    /// the transfer has arrived (a cross-device event wait).
+    CopyDst(CopyId),
 }
 
 /// One entry of the device command log: every host-issued stream command
@@ -82,6 +102,22 @@ pub enum CmdRecord {
         /// Event awaited.
         event: EventId,
     },
+    /// The source half of a peer-to-peer copy was enqueued on `stream`
+    /// (this device reads the source buffer).
+    CopySrc {
+        /// Sending stream.
+        stream: StreamId,
+        /// Fabric-wide copy id.
+        copy: CopyId,
+    },
+    /// The destination half of a peer-to-peer copy was enqueued on
+    /// `stream` (this device's buffer is written when the copy lands).
+    CopyDst {
+        /// Receiving stream.
+        stream: StreamId,
+        /// Fabric-wide copy id.
+        copy: CopyId,
+    },
     /// A [`crate::Device::run`] episode completed: everything logged before
     /// this marker happened before everything logged after it.
     Sync,
@@ -95,6 +131,9 @@ pub struct StreamState {
     /// A kernel from this stream currently executing (streams are in-order,
     /// so at most one).
     pub inflight: Option<KernelId>,
+    /// A peer-to-peer copy sourced from this stream currently in transit
+    /// (in-order: the stream is parked until the transfer completes).
+    pub copy_inflight: Option<CopyId>,
     /// Simulated time when the stream last became idle.
     pub last_idle: u64,
 }
@@ -102,7 +141,20 @@ pub struct StreamState {
 impl StreamState {
     /// Whether the stream has no pending or in-flight work.
     pub fn is_idle(&self) -> bool {
-        self.queue.is_empty() && self.inflight.is_none()
+        self.queue.is_empty() && self.inflight.is_none() && self.copy_inflight.is_none()
+    }
+
+    /// Whether the stream is blocked on fabric-scheduled copy traffic: a
+    /// copy in transit, or a copy command at its front (resolved only by
+    /// [`Fabric::run`](crate::fabric::Fabric::run), not [`Device::run`]).
+    ///
+    /// [`Device::run`]: crate::Device::run
+    pub fn copy_parked(&self) -> bool {
+        self.copy_inflight.is_some()
+            || matches!(
+                self.queue.front(),
+                Some(Command::CopySrc(_)) | Some(Command::CopyDst(_))
+            )
     }
 }
 

@@ -1,7 +1,7 @@
 //! Execution context: simulated device + dispatch policy + timing capture.
 
 use glp4nn::{ExecMode, ExecPlan, ExecReport, Glp4nn, LayerKey, Phase};
-use gpu_sim::{Device, DeviceProps, KernelDesc, SimTime, StreamId};
+use gpu_sim::{Device, DeviceProps, EventId, KernelDesc, SimTime, StreamId};
 use sanitizer::{SanitizeMode, Sanitizer};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -73,6 +73,14 @@ pub struct ExecCtx {
     plans: HashMap<String, Arc<ExecPlan>>,
     plan_reuse: bool,
     captures: u64,
+    /// Deferred-issue mode: dispatches enqueue their plans (with
+    /// inter-layer barrier events standing in for the per-layer
+    /// `device.run()`) but never drive the simulation — the caller runs
+    /// the device (or its fabric) once for the whole pass. Only the
+    /// self-dispatched modes defer; `Glp4nn` dispatches stay eager.
+    deferred: bool,
+    /// Streams carrying issued-but-unjoined work in deferred mode.
+    pending: Vec<StreamId>,
 }
 
 impl ExecCtx {
@@ -112,6 +120,8 @@ impl ExecCtx {
             plans: HashMap::new(),
             plan_reuse: true,
             captures: 0,
+            deferred: false,
+            pending: Vec::new(),
         }
     }
 
@@ -197,6 +207,10 @@ impl ExecCtx {
                 self.replay_or_capture(layer, phase, chunks, &pool, make_groups)
             }
             DispatchMode::Glp4nn => {
+                debug_assert!(
+                    !self.deferred,
+                    "Glp4nn dispatch runs eagerly; deferred mode is ignored"
+                );
                 // Plans are keyed per layer x phase x group count: a
                 // serving batcher that varies the batch size profiles each
                 // shape once, then every later batch of that shape reuses
@@ -218,7 +232,7 @@ impl ExecCtx {
                     .unwrap_or_else(|e| panic!("{e}"))
             }
         };
-        if self.sanitizer.is_full() {
+        if self.sanitizer.is_full() && !self.deferred {
             self.sanitizer.check_device(&self.device);
         }
         self.timings.push(LayerTiming {
@@ -246,7 +260,7 @@ impl ExecCtx {
     ) -> ExecReport {
         let pool = [self.device.default_stream()];
         let report = self.replay_or_capture(layer, phase, 1, &pool, move || vec![kernels]);
-        if self.sanitizer.is_full() {
+        if self.sanitizer.is_full() && !self.deferred {
             self.sanitizer.check_device(&self.device);
         }
         self.timings.push(LayerTiming {
@@ -290,7 +304,8 @@ impl ExecCtx {
         let key = self.plan_key(layer, phase, chunks, pool.len());
         if self.plan_reuse {
             if let Some(plan) = self.plans.get(&key) {
-                return Arc::clone(plan).replay(&mut self.device);
+                let plan = Arc::clone(plan);
+                return self.replay_or_issue(&plan);
             }
         }
         let groups = make_groups();
@@ -308,9 +323,88 @@ impl ExecCtx {
         }
         self.captures += 1;
         let plan = Arc::new(plan);
-        let report = plan.replay(&mut self.device);
+        let report = self.replay_or_issue(&plan);
         self.plans.insert(key, plan);
         report
+    }
+
+    /// Eager mode: replay the plan (issue + run to completion). Deferred
+    /// mode: interpose the inter-layer barrier (events standing in for the
+    /// eager mode's device drain) and issue without running; the report
+    /// then carries no elapsed time — the caller measures the whole pass.
+    fn replay_or_issue(&mut self, plan: &ExecPlan) -> ExecReport {
+        if !self.deferred {
+            return plan.replay(&mut self.device);
+        }
+        self.barrier_before(plan.streams());
+        plan.issue(&mut self.device);
+        ExecReport {
+            mode: plan.mode(),
+            elapsed_ns: 0,
+            kernels: plan.num_kernels(),
+        }
+    }
+
+    /// Switch deferred-issue mode on or off (see the field docs). Ignored
+    /// in `Glp4nn` mode, which must run eagerly (its profiling iteration
+    /// measures real elapsed time). Turning deferred off clears the
+    /// pending-work bookkeeping — only do so after draining the device.
+    pub fn set_deferred(&mut self, on: bool) {
+        self.deferred = on && self.mode != DispatchMode::Glp4nn;
+        if !self.deferred {
+            self.pending.clear();
+        }
+    }
+
+    /// Whether deferred-issue mode is active.
+    pub fn is_deferred(&self) -> bool {
+        self.deferred
+    }
+
+    /// Join all pending deferred work onto one stream (events from every
+    /// other pending stream, waited on the first) and return that stream.
+    fn join_pending(&mut self) -> Option<StreamId> {
+        let s0 = *self.pending.first()?;
+        for &s in &self.pending[1..] {
+            let e = self.device.create_event();
+            self.device.record_event(s, e);
+            self.device.wait_event(s0, e);
+        }
+        self.pending.truncate(1);
+        Some(s0)
+    }
+
+    /// A barrier over all deferred work issued so far: an event that fires
+    /// once every pending stream drains. `None` when nothing is pending
+    /// (eager mode, or nothing issued yet). Used by the data-parallel
+    /// trainer to gate a gradient bucket's all-reduce on the layer's
+    /// backward.
+    pub fn barrier_event(&mut self) -> Option<EventId> {
+        let s0 = self.join_pending()?;
+        let e = self.device.create_event();
+        self.device.record_event(s0, e);
+        Some(e)
+    }
+
+    /// Make every stream of `pool` wait for all pending deferred work —
+    /// the deferred stand-in for the inter-layer synchronization — then
+    /// mark `pool` as the new pending set.
+    fn barrier_before(&mut self, pool: &[StreamId]) {
+        if let Some(s0) = self.join_pending() {
+            // Work already joined onto s0; anything issued to s0 follows
+            // in FIFO order, so only the other pool streams need gating.
+            if pool.iter().any(|&s| s != s0) {
+                let b = self.device.create_event();
+                self.device.record_event(s0, b);
+                for &s in pool {
+                    if s != s0 {
+                        self.device.wait_event(s, b);
+                    }
+                }
+            }
+        }
+        self.pending.clear();
+        self.pending.extend_from_slice(pool);
     }
 
     /// Take and clear accumulated layer timings.

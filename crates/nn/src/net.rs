@@ -334,9 +334,17 @@ impl Net {
 
     /// Run the backward pass (forward must have run first).
     pub fn backward(&mut self, ctx: &mut ExecCtx) {
-        ctx.net_name = self.name.clone();
-        ctx.batch = self.blobs.first().map_or(0, |b| b.num());
-        // Seed loss gradients.
+        self.seed_loss_grads();
+        for i in (0..self.layers.len()).rev() {
+            self.backward_layer(i, ctx);
+        }
+    }
+
+    /// Seed the loss-layer output gradients (`∂L/∂loss =` loss weight) —
+    /// the prologue of [`backward`](Net::backward), split out so callers
+    /// can step the backward pass layer by layer (e.g. to overlap each
+    /// layer's gradient all-reduce with the next layer's backward).
+    pub fn seed_loss_grads(&mut self) {
         for i in 0..self.layers.len() {
             let w = self.layers[i].loss_weight();
             if w > 0.0 {
@@ -344,22 +352,35 @@ impl Net {
                 self.blobs[t].diff_mut()[0] = w;
             }
         }
-        for i in (0..self.layers.len()).rev() {
-            if !self.layers[i].needs_backward() {
-                continue;
-            }
-            let mut my_bottoms: Vec<Blob> = self.bottoms[i]
-                .iter()
-                .map(|&b| std::mem::replace(&mut self.blobs[b], Blob::empty()))
-                .collect();
-            {
-                let my_tops: Vec<&Blob> = self.tops[i].iter().map(|&t| &self.blobs[t]).collect();
-                self.layers[i].backward(ctx, &my_tops, &mut my_bottoms);
-            }
-            for (&b, blob) in self.bottoms[i].iter().zip(my_bottoms) {
-                self.blobs[b] = blob;
-            }
+    }
+
+    /// Run a single layer's backward (a no-op for layers that don't
+    /// participate). Call [`seed_loss_grads`](Net::seed_loss_grads) first,
+    /// then step `i` from `num_layers()-1` down to 0;
+    /// [`backward`](Net::backward) is exactly that loop.
+    pub fn backward_layer(&mut self, i: usize, ctx: &mut ExecCtx) {
+        ctx.net_name = self.name.clone();
+        ctx.batch = self.blobs.first().map_or(0, |b| b.num());
+        if !self.layers[i].needs_backward() {
+            return;
         }
+        let mut my_bottoms: Vec<Blob> = self.bottoms[i]
+            .iter()
+            .map(|&b| std::mem::replace(&mut self.blobs[b], Blob::empty()))
+            .collect();
+        {
+            let my_tops: Vec<&Blob> = self.tops[i].iter().map(|&t| &self.blobs[t]).collect();
+            self.layers[i].backward(ctx, &my_tops, &mut my_bottoms);
+        }
+        for (&b, blob) in self.bottoms[i].iter().zip(my_bottoms) {
+            self.blobs[b] = blob;
+        }
+    }
+
+    /// The learnable parameter blobs of layer `i` (empty for
+    /// parameter-free layers).
+    pub fn layer_params_mut(&mut self, i: usize) -> Vec<&mut Blob> {
+        self.layers[i].params_mut()
     }
 
     /// All learnable parameter blobs, in layer order.

@@ -1,44 +1,69 @@
-//! Synchronous data-parallel training over several simulated GPUs — the
-//! paper's §6 future work ("we will try to provide a distributed
+//! Synchronous data-parallel training over a fabric of simulated GPUs —
+//! the paper's §6 future work ("we will try to provide a distributed
 //! implementation of the proposed framework") built on top of the
-//! single-GPU GLP4NN optimization, in the BSP style of the parameter-server
-//! literature the paper cites.
+//! single-GPU GLP4NN optimization.
 //!
 //! Every replica holds an identical copy of the network on its own
-//! simulated device (optionally accelerated by GLP4NN); each step:
+//! simulated device (optionally accelerated by GLP4NN). The devices are
+//! joined by a [`Fabric`] ring (PCIe- or NVLink-like links) and gradients
+//! travel as real simulated traffic: per-layer buckets are ring
+//! all-reduced ([`collective::RingComm`]) as chains of peer-to-peer copies
+//! plus local fold kernels on per-device communication streams.
 //!
-//! 1. the global batch is split evenly across replicas,
-//! 2. replicas run forward/backward independently (their simulated times
-//!    overlap, so the step's simulated time is the slowest replica's),
-//! 3. gradients are averaged in fixed replica order (deterministic
-//!    all-reduce; its simulated cost models a ring over PCIe),
-//! 4. a single SGD update is applied and parameters broadcast back.
+//! Two scheduling modes:
 //!
-//! Averaging sub-batch gradients reproduces full-batch gradients up to
-//! floating-point associativity, so convergence behaviour matches
-//! single-GPU training (verified in tests).
+//! - **No overlap** (default): replicas run forward/backward eagerly,
+//!   then all buckets are reduced — the classic BSP step. Simulated step
+//!   time is `max(compute) + comm`.
+//! - **Overlap** ([`with_overlap`](DataParallelTrainer::with_overlap)):
+//!   the whole pass is issued in deferred mode (cached execution plans
+//!   are *issued*, not run; inter-layer barriers become events), and
+//!   layer `k`'s bucket all-reduce is enqueued — gated on a barrier event
+//!   — right after layer `k`'s backward, so it overlaps layer `k-1`'s
+//!   backward. One [`Fabric::run`] drives the whole iteration; the
+//!   communication hides behind compute.
+//!
+//! Numerics are decoupled from the simulated schedule, deliberately: the
+//! simulator moves no data, so gradient math happens host-side. The plain
+//! [`step`](DataParallelTrainer::step) combines per-replica gradients in
+//! a fixed tree (deterministic for a given replica count);
+//! [`step_sharded`](DataParallelTrainer::step_sharded) goes further and
+//! reproduces the paper's convergence-invariance contract for data
+//! parallelism: the global batch is cut into a *fixed* number of shards,
+//! each shard's gradient is computed separately, and shards are combined
+//! by a fixed binary tree over shard indices
+//! ([`collective::tree_sum_scaled`]) — so trained weights are **bitwise
+//! identical for any replica count** that divides the shard count.
 
-use crate::exec::ExecCtx;
+use crate::exec::{DispatchMode, ExecCtx};
 use crate::net::{Net, NetSpec};
 use crate::solver::SolverConfig;
-use gpu_sim::DeviceProps;
-
-/// PCIe-style interconnect bandwidth for the simulated ring all-reduce.
-const LINK_BYTES_PER_SEC: f64 = 16.0e9;
+use collective::{tree_sum_scaled, Bucket, CommReport, RingComm};
+use gpu_sim::{Device, DeviceProps, DeviceStats, Fabric, LinkProps, SimTime, Timeline};
+use sanitizer::{Diagnostic, SanitizeMode, Sanitizer};
 
 /// Result of one data-parallel step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepReport {
-    /// Mean loss over replicas.
+    /// Mean loss over replicas (for [`DataParallelTrainer::step_sharded`],
+    /// the fixed-tree mean over shards).
     pub loss: f32,
-    /// Simulated compute time: the slowest replica's iteration (ns).
+    /// Simulated compute time: the slowest replica's eager pass (ns). In
+    /// overlap mode compute and communication are indistinguishable, and
+    /// this equals [`wall_ns`](StepReport::wall_ns).
     pub compute_ns: u64,
-    /// Simulated ring all-reduce time (ns).
+    /// Simulated span of the gradient all-reduce traffic (ns). In overlap
+    /// mode this runs concurrently with compute.
     pub comm_ns: u64,
+    /// Simulated wall-clock of the whole step: the slowest device's
+    /// elapsed simulated time, communication included.
+    pub wall_ns: u64,
 }
 
 impl StepReport {
-    /// Total simulated step time.
+    /// Total simulated step time under sequential compute-then-communicate
+    /// accounting. Prefer [`wall_ns`](StepReport::wall_ns), which is also
+    /// correct for overlapped schedules.
     pub fn total_ns(&self) -> u64 {
         self.compute_ns + self.comm_ns
     }
@@ -50,16 +75,24 @@ pub struct DataParallelTrainer {
     cfg: SolverConfig,
     momentum: Vec<Vec<f32>>,
     iter: usize,
+    fabric: Fabric,
+    comm: RingComm,
+    overlap: bool,
+    shards: usize,
+    /// Merged cross-device trace checking (per-device checking lives in
+    /// each replica's context).
+    sanitizer: Sanitizer,
 }
 
 impl DataParallelTrainer {
-    /// Build `devices.len()` replicas of `spec`, one per device. When
-    /// `glp4nn` is true each replica's context runs the full framework
-    /// (profile-then-parallelize per device, as the paper's multi-GPU
-    /// architecture assigns a private analyzer/scheduler per GPU).
+    /// Build `devices.len()` replicas of `spec`, one per device, joined in
+    /// a PCIe-like ring. When `glp4nn` is true each replica's context runs
+    /// the full framework (profile-then-parallelize per device, as the
+    /// paper's multi-GPU architecture assigns a private analyzer/scheduler
+    /// per GPU).
     pub fn new(spec: &NetSpec, devices: &[DeviceProps], glp4nn: bool, cfg: SolverConfig) -> Self {
         assert!(!devices.is_empty());
-        let replicas = devices
+        let mut replicas: Vec<(Net, ExecCtx)> = devices
             .iter()
             .map(|d| {
                 let ctx = if glp4nn {
@@ -70,12 +103,88 @@ impl DataParallelTrainer {
                 (Net::from_spec(spec), ctx)
             })
             .collect();
+        let fabric = Fabric::ring(devices.len(), LinkProps::pcie3());
+        let comm = {
+            let mut devs: Vec<&mut Device> =
+                replicas.iter_mut().map(|(_, c)| &mut c.device).collect();
+            RingComm::new(&mut devs)
+        };
+        let shards = devices.len();
         DataParallelTrainer {
             replicas,
             cfg,
             momentum: Vec::new(),
             iter: 0,
+            fabric,
+            comm,
+            overlap: false,
+            shards,
+            sanitizer: Sanitizer::default(),
         }
+    }
+
+    /// Rebuild the interconnect ring with `link` (e.g.
+    /// [`LinkProps::nvlink`]). Call before the first step.
+    pub fn with_link(mut self, link: LinkProps) -> Self {
+        assert_eq!(self.iter, 0, "change links before training starts");
+        self.fabric = Fabric::ring(self.replicas.len(), link);
+        self
+    }
+
+    /// Enable or disable communication/compute overlap (see module docs).
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
+    }
+
+    /// Set every replica's dispatch mode (e.g.
+    /// [`DispatchMode::FixedStreams`] for the multi-stream sweeps).
+    pub fn with_dispatch(mut self, mode: DispatchMode) -> Self {
+        for (_, ctx) in &mut self.replicas {
+            ctx.mode = mode;
+        }
+        self
+    }
+
+    /// Set the fixed shard count for
+    /// [`step_sharded`](DataParallelTrainer::step_sharded). Must be a
+    /// multiple of the replica count. Defaults to the replica count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0 && shards.is_multiple_of(self.replicas.len()));
+        self.shards = shards;
+        self
+    }
+
+    /// Skip host-side math on every replica: kernels are still dispatched
+    /// and timed on the simulated devices, but no CPU arithmetic runs.
+    /// Losses and weights become meaningless — use for timing sweeps.
+    pub fn timing_only(mut self) -> Self {
+        for (_, ctx) in &mut self.replicas {
+            ctx.compute = false;
+        }
+        self
+    }
+
+    /// Enable schedule sanitizing on every replica (plan validation +
+    /// per-device happens-before replay) and on the merged cross-device
+    /// fabric trace.
+    pub fn sanitize(mut self, mode: SanitizeMode) -> Self {
+        for (_, ctx) in &mut self.replicas {
+            ctx.sanitizer = Sanitizer::new(mode);
+        }
+        self.sanitizer = Sanitizer::new(mode);
+        self
+    }
+
+    /// All sanitizer diagnostics accumulated so far (per-replica checks
+    /// first, then merged fabric checks).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for (_, ctx) in &self.replicas {
+            out.extend_from_slice(ctx.sanitizer.reports());
+        }
+        out.extend_from_slice(self.sanitizer.reports());
+        out
     }
 
     /// Number of replicas.
@@ -93,44 +202,58 @@ impl DataParallelTrainer {
         &mut self.replicas[r].0
     }
 
+    /// The interconnect fabric (copy spans, link properties).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// Per-device utilization statistics, in replica order.
+    pub fn device_stats(&self) -> Vec<DeviceStats> {
+        self.replicas
+            .iter()
+            .map(|(_, c)| c.device.stats())
+            .collect()
+    }
+
+    /// One timeline over all replicas' devices (stream rows offset per
+    /// device), communication traffic included.
+    pub fn merged_timeline(&self) -> Timeline {
+        let views: Vec<&Device> = self.replicas.iter().map(|(_, c)| &c.device).collect();
+        self.fabric.merged_timeline(&views)
+    }
+
     /// One synchronous step. Input sub-batches must already be loaded into
-    /// every replica's input blobs.
+    /// every replica's input blobs. Gradients are combined in a fixed tree
+    /// over replica indices (deterministic; for replica-count-*invariant*
+    /// bits use [`step_sharded`](DataParallelTrainer::step_sharded)).
     pub fn step(&mut self) -> StepReport {
         let r_count = self.replicas.len();
+        let t0 = self.begin_iteration();
+
         let mut losses = Vec::with_capacity(r_count);
-        let mut compute_ns = 0u64;
         for (net, ctx) in &mut self.replicas {
             net.zero_param_diffs();
             ctx.take_timings();
             let loss = net.forward(ctx);
-            net.backward(ctx);
-            let t: u64 = ctx.take_timings().iter().map(|t| t.elapsed_ns).sum();
-            compute_ns = compute_ns.max(t);
+            net.seed_loss_grads();
             losses.push(loss);
         }
+        let comm_reports = self.backward_with_allreduce();
+        let (compute_ns, comm_ns, wall_ns) = self.finish_iteration(&t0, &comm_reports);
 
-        // Deterministic gradient average into replica 0 (fixed order).
-        let param_bytes: usize;
-        {
+        // Fixed-tree gradient mean over replicas, into replica 0.
+        if r_count > 1 {
             let inv = 1.0 / r_count as f32;
-            // Collect gradients from replicas 1.. first to appease the
-            // borrow checker, then fold into replica 0.
-            let mut others: Vec<Vec<Vec<f32>>> = Vec::with_capacity(r_count - 1);
-            for (net, _) in self.replicas.iter_mut().skip(1) {
-                others.push(net.params_mut().iter().map(|p| p.diff().to_vec()).collect());
-            }
+            let parts: Vec<Vec<Vec<f32>>> = self
+                .replicas
+                .iter_mut()
+                .map(|(net, _)| net.params_mut().iter().map(|p| p.diff().to_vec()).collect())
+                .collect();
             let mut master = self.replicas[0].0.params_mut();
-            param_bytes = master.iter().map(|p| p.count() * 4).sum();
             for (pi, p) in master.iter_mut().enumerate() {
-                let d = p.diff_mut();
-                for other in &others {
-                    for (dst, src) in d.iter_mut().zip(&other[pi]) {
-                        *dst += *src;
-                    }
-                }
-                for v in d.iter_mut() {
-                    *v *= inv;
-                }
+                let views: Vec<&[f32]> = parts.iter().map(|r| r[pi].as_slice()).collect();
+                let reduced = tree_sum_scaled(&views, inv);
+                p.diff_mut().copy_from_slice(&reduced);
             }
         }
 
@@ -151,7 +274,9 @@ impl DataParallelTrainer {
             }
         }
 
-        // Broadcast parameters to the other replicas.
+        // Broadcast parameters to the other replicas (host-side; the
+        // simulated broadcast cost is part of the reduced buckets already
+        // circulated by the all-gather phase of the ring).
         let master_params: Vec<Vec<f32>> = self.replicas[0]
             .0
             .params_mut()
@@ -164,21 +289,255 @@ impl DataParallelTrainer {
             }
         }
 
-        // Ring all-reduce cost: 2(R-1)/R × bytes over the link.
-        let comm_ns = if r_count > 1 {
-            let factor = 2.0 * (r_count as f64 - 1.0) / r_count as f64;
-            (factor * param_bytes as f64 / LINK_BYTES_PER_SEC * 1e9) as u64
-        } else {
-            0
-        };
-
         self.iter += 1;
         StepReport {
             loss: losses.iter().sum::<f32>() / r_count as f32,
             compute_ns,
             comm_ns,
+            wall_ns,
         }
     }
+
+    /// One convergence-invariant step over `shards` fixed shards (see
+    /// [`with_shards`](DataParallelTrainer::with_shards)). `fill` loads
+    /// shard `q`'s samples into the given replica net before its pass;
+    /// replica `r` processes the contiguous shard range
+    /// `r*S/R .. (r+1)*S/R`, so the shard set — and therefore the fixed
+    /// reduction tree and every intermediate rounding — is identical for
+    /// every replica count dividing `S`. Trained weights are bitwise
+    /// reproducible across replica counts and device models.
+    pub fn step_sharded<F>(&mut self, mut fill: F) -> StepReport
+    where
+        F: FnMut(&mut Net, usize),
+    {
+        let r_count = self.replicas.len();
+        let s_count = self.shards;
+        assert!(
+            s_count.is_multiple_of(r_count),
+            "{s_count} shards do not divide over {r_count} replicas"
+        );
+        let per = s_count / r_count;
+        let t0 = self.begin_iteration();
+
+        let mut shard_losses = vec![0.0f32; s_count];
+        let mut shard_grads: Vec<Vec<Vec<f32>>> = vec![Vec::new(); s_count];
+        // All shards but each replica's last run as whole passes; the last
+        // shard's backward is stepped per layer below so bucket
+        // all-reduces can overlap it.
+        for (r, (net, ctx)) in self.replicas.iter_mut().enumerate() {
+            ctx.take_timings();
+            for k in 0..per {
+                let q = r * per + k;
+                fill(net, q);
+                net.zero_param_diffs();
+                shard_losses[q] = net.forward(ctx);
+                if k + 1 < per {
+                    net.backward(ctx);
+                    shard_grads[q] = net.params_mut().iter().map(|p| p.diff().to_vec()).collect();
+                } else {
+                    net.seed_loss_grads();
+                }
+            }
+        }
+        let comm_reports = self.backward_with_allreduce();
+        for (r, (net, _)) in self.replicas.iter_mut().enumerate() {
+            let q = r * per + per - 1;
+            shard_grads[q] = net.params_mut().iter().map(|p| p.diff().to_vec()).collect();
+        }
+        let (compute_ns, comm_ns, wall_ns) = self.finish_iteration(&t0, &comm_reports);
+
+        // Canonical math: fixed tree over the full shard set.
+        let inv = 1.0 / s_count as f32;
+        let num_params = shard_grads[0].len();
+        let reduced: Vec<Vec<f32>> = (0..num_params)
+            .map(|pi| {
+                let views: Vec<&[f32]> = shard_grads.iter().map(|g| g[pi].as_slice()).collect();
+                tree_sum_scaled(&views, inv)
+            })
+            .collect();
+        let loss = {
+            let parts: Vec<[f32; 1]> = shard_losses.iter().map(|&l| [l]).collect();
+            let views: Vec<&[f32]> = parts.iter().map(|p| p.as_slice()).collect();
+            tree_sum_scaled(&views, inv)[0]
+        };
+
+        // One momentum update, applied identically to every replica, so
+        // replicas stay bitwise in lock-step.
+        let lr = self.cfg.base_lr;
+        if self.momentum.len() != num_params {
+            self.momentum = reduced.iter().map(|g| vec![0.0; g.len()]).collect();
+        }
+        let data0: Vec<Vec<f32>> = self.replicas[0]
+            .0
+            .params_mut()
+            .iter()
+            .map(|p| p.data().to_vec())
+            .collect();
+        let mut delta: Vec<Vec<f32>> = Vec::with_capacity(num_params);
+        for pi in 0..num_params {
+            let h = &mut self.momentum[pi];
+            let mut d = vec![0.0f32; h.len()];
+            for i in 0..h.len() {
+                let g = reduced[pi][i] + self.cfg.weight_decay * data0[pi][i];
+                h[i] = self.cfg.momentum * h[i] + lr * g;
+                d[i] = h[i];
+            }
+            delta.push(d);
+        }
+        for (net, _) in &mut self.replicas {
+            for (p, d) in net.params_mut().iter_mut().zip(&delta) {
+                for (v, dv) in p.data_mut().iter_mut().zip(d) {
+                    *v -= *dv;
+                }
+            }
+        }
+
+        self.iter += 1;
+        StepReport {
+            loss,
+            compute_ns,
+            comm_ns,
+            wall_ns,
+        }
+    }
+
+    /// Start an iteration: snapshot device clocks and arm deferred mode
+    /// when overlapping. A single replica has no communication to hide, so
+    /// overlap degenerates to the plain eager schedule there (deferred
+    /// issue alone would only add event-barrier overhead).
+    fn begin_iteration(&mut self) -> Vec<SimTime> {
+        let defer = self.overlap && self.replicas.len() > 1;
+        self.replicas
+            .iter_mut()
+            .map(|(_, ctx)| {
+                ctx.set_deferred(defer);
+                ctx.device.now()
+            })
+            .collect()
+    }
+
+    /// The per-layer backward loop with bucket all-reduces. In overlap
+    /// mode buckets are enqueued (event-gated) as soon as their layer's
+    /// backward has issued; otherwise the eager backward completes first
+    /// and buckets are enqueued afterwards, to be driven by the single
+    /// `Fabric::run` in [`finish_iteration`].
+    fn backward_with_allreduce(&mut self) -> Vec<CommReport> {
+        let r_count = self.replicas.len();
+        let num_layers = self.replicas[0].0.num_layers();
+        let names = self.replicas[0].0.layer_names();
+        let mut reports = Vec::new();
+        let overlapped = self.overlap && self.replicas.iter().any(|(_, c)| c.is_deferred());
+        for i in (0..num_layers).rev() {
+            for (net, ctx) in &mut self.replicas {
+                net.backward_layer(i, ctx);
+            }
+            if r_count > 1 && overlapped {
+                if let Some(bucket) = self.layer_bucket(i, &names) {
+                    reports.push(all_reduce_bucket(
+                        &mut self.replicas,
+                        &mut self.fabric,
+                        &mut self.comm,
+                        &bucket,
+                        true,
+                    ));
+                }
+            }
+        }
+        if r_count > 1 && !overlapped {
+            for i in (0..num_layers).rev() {
+                if let Some(bucket) = self.layer_bucket(i, &names) {
+                    reports.push(all_reduce_bucket(
+                        &mut self.replicas,
+                        &mut self.fabric,
+                        &mut self.comm,
+                        &bucket,
+                        false,
+                    ));
+                }
+            }
+        }
+        reports
+    }
+
+    /// Layer `i`'s gradient bucket: its parameter bytes under the layer's
+    /// weight-gradient buffer label (so the sanitizer sees the collective
+    /// touch the same address ranges the backward kernels declare).
+    fn layer_bucket(&mut self, i: usize, names: &[String]) -> Option<Bucket> {
+        let bytes: u64 = self.replicas[0]
+            .0
+            .layer_params_mut(i)
+            .iter()
+            .map(|p| p.count() as u64 * 4)
+            .sum();
+        (bytes > 0).then(|| Bucket::new(format!("{}/dw", names[i]), bytes))
+    }
+
+    /// Drive everything still queued (deferred compute, collectives) to
+    /// completion, close the iteration's trace segment, run sanitizer
+    /// checks, and compute the step's timing triple.
+    fn finish_iteration(&mut self, t0: &[SimTime], comm_reports: &[CommReport]) -> (u64, u64, u64) {
+        {
+            let mut devs: Vec<&mut Device> = self
+                .replicas
+                .iter_mut()
+                .map(|(_, c)| &mut c.device)
+                .collect();
+            self.fabric.run(&mut devs);
+        }
+        let mut compute_ns = 0u64;
+        let mut wall_ns = 0u64;
+        for ((_, ctx), &start) in self.replicas.iter_mut().zip(t0) {
+            ctx.set_deferred(false);
+            wall_ns = wall_ns.max(ctx.device.now() - start);
+            let eager: u64 = ctx.take_timings().iter().map(|t| t.elapsed_ns).sum();
+            compute_ns = compute_ns.max(eager);
+        }
+        if self.overlap {
+            compute_ns = wall_ns;
+        }
+        let mut span: Option<(u64, u64)> = None;
+        for rep in comm_reports {
+            if let Some((s, e)) = rep.span(&self.fabric) {
+                span = Some(match span {
+                    None => (s, e),
+                    Some((s0, e0)) => (s0.min(s), e0.max(e)),
+                });
+            }
+        }
+        let comm_ns = span.map_or(0, |(s, e)| e - s);
+        if self.sanitizer.is_full() || self.replicas.iter().any(|(_, c)| c.sanitizer.is_full()) {
+            for (_, ctx) in &mut self.replicas {
+                ctx.sanitizer.check_device(&ctx.device);
+            }
+            let views: Vec<&Device> = self.replicas.iter().map(|(_, c)| &c.device).collect();
+            self.sanitizer.check_fabric(&self.fabric, &views);
+        }
+        (compute_ns, comm_ns, wall_ns)
+    }
+}
+
+/// Ring all-reduce one bucket across every replica's device. With `gate`,
+/// each device's communication stream first waits on a barrier event
+/// covering all of that replica's deferred work, so the collective cannot
+/// start before the gradient it ships exists.
+fn all_reduce_bucket(
+    replicas: &mut [(Net, ExecCtx)],
+    fabric: &mut Fabric,
+    comm: &mut RingComm,
+    bucket: &Bucket,
+    gate: bool,
+) -> CommReport {
+    if gate {
+        for (r, (_, ctx)) in replicas.iter_mut().enumerate() {
+            if let Some(ev) = ctx.barrier_event() {
+                let stream = comm.stream(r);
+                ctx.device.wait_event(stream, ev);
+            }
+        }
+    }
+    let mut devs: Vec<&mut Device> = replicas.iter_mut().map(|(_, c)| &mut c.device).collect();
+    comm.all_reduce(fabric, &mut devs, bucket)
+        .expect("ring all-reduce over the trainer's own fabric cannot fail")
 }
 
 #[cfg(test)]
@@ -291,6 +650,7 @@ mod tests {
         };
         assert!(two.comm_ns > 0);
         assert!(two.total_ns() > two.compute_ns);
+        assert!(two.wall_ns >= two.compute_ns);
     }
 
     #[test]
@@ -315,5 +675,61 @@ mod tests {
             second.compute_ns,
             first.compute_ns
         );
+    }
+
+    /// Run K iterations in each mode and compare simulated wall time.
+    fn wall_after(overlap: bool, iters: usize) -> (u64, Vec<Diagnostic>) {
+        let spec = models::cifar10_quick(8, 3);
+        let ds = SyntheticDataset::cifar_like(3);
+        let mut dp = DataParallelTrainer::new(
+            &spec,
+            &[DeviceProps::p100(), DeviceProps::p100()],
+            false,
+            cfg(),
+        )
+        .with_dispatch(DispatchMode::FixedStreams(4))
+        .with_overlap(overlap)
+        .sanitize(SanitizeMode::Full);
+        let mut wall = 0;
+        for it in 0..iters {
+            fill(dp.replica_net(0), &ds, it * 16);
+            fill(dp.replica_net(1), &ds, it * 16 + 8);
+            wall = dp.step().wall_ns; // steady-state (last) iteration
+        }
+        (wall, dp.diagnostics())
+    }
+
+    #[test]
+    fn overlap_hides_communication_and_stays_race_free() {
+        let (eager, eager_diag) = wall_after(false, 3);
+        let (overlapped, overlap_diag) = wall_after(true, 3);
+        assert_eq!(eager_diag, vec![], "no-overlap schedule must be clean");
+        assert_eq!(overlap_diag, vec![], "overlap schedule must be clean");
+        assert!(
+            overlapped <= eager,
+            "overlap must not be slower: {overlapped} vs {eager}"
+        );
+    }
+
+    #[test]
+    fn sharded_step_is_bitwise_invariant_to_replica_count() {
+        let shard_batch = 4;
+        let shards = 4;
+        let ds = SyntheticDataset::cifar_like(5);
+        let spec = models::cifar10_quick(shard_batch, 21);
+        let train = |devices: &[DeviceProps], overlap: bool| {
+            let mut dp = DataParallelTrainer::new(&spec, devices, false, cfg())
+                .with_shards(shards)
+                .with_overlap(overlap);
+            for _ in 0..3 {
+                dp.step_sharded(|net, q| fill(net, &ds, q * shard_batch));
+            }
+            dp.replicas[0].0.state_dict()
+        };
+        let one = train(&[DeviceProps::p100()], false);
+        let two = train(&[DeviceProps::k40c(), DeviceProps::titan_xp()], true);
+        let four = train(&vec![DeviceProps::p100(); 4], false);
+        assert_eq!(one, two, "1 vs 2 replicas must be bitwise identical");
+        assert_eq!(one, four, "1 vs 4 replicas must be bitwise identical");
     }
 }

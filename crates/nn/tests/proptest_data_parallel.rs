@@ -1,0 +1,79 @@
+//! Property tests for data-parallel training: the sharded step's trained
+//! weights are bitwise identical for every replica count dividing the
+//! shard count — across device models, interconnects, and overlap
+//! scheduling. The simulated schedule moves; the numerics never do.
+
+use gpu_sim::{DeviceProps, LinkProps};
+use nn::data::SyntheticDataset;
+use nn::models;
+use nn::{DataParallelTrainer, Net, SolverConfig};
+use proptest::prelude::*;
+use tensor::Blob;
+
+fn fill(net: &mut Net, ds: &SyntheticDataset, start: usize) {
+    let mut data = std::mem::replace(net.blob_mut("data"), Blob::empty());
+    let mut label = std::mem::replace(net.blob_mut("label"), Blob::empty());
+    ds.fill_batch(start, &mut data, &mut label);
+    *net.blob_mut("data") = data;
+    *net.blob_mut("label") = label;
+}
+
+fn device(model: usize) -> DeviceProps {
+    match model % 3 {
+        0 => DeviceProps::k40c(),
+        1 => DeviceProps::p100(),
+        _ => DeviceProps::titan_xp(),
+    }
+}
+
+/// Train `iters` sharded steps on `devices` and return the final weights.
+fn train(
+    devices: &[DeviceProps],
+    shards: usize,
+    iters: usize,
+    overlap: bool,
+    nvlink: bool,
+    data_seed: u64,
+) -> Vec<Vec<f32>> {
+    let shard_batch = 2;
+    let ds = SyntheticDataset::cifar_like(data_seed);
+    let spec = models::cifar10_quick(shard_batch, 77);
+    let link = if nvlink {
+        LinkProps::nvlink()
+    } else {
+        LinkProps::pcie3()
+    };
+    let mut dp = DataParallelTrainer::new(&spec, devices, false, SolverConfig::default())
+        .with_link(link)
+        .with_shards(shards)
+        .with_overlap(overlap);
+    for it in 0..iters {
+        dp.step_sharded(|net, q| fill(net, &ds, (it * shards + q) * shard_batch));
+    }
+    dp.replica_net(0).state_dict()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// One replica and N replicas produce bitwise-identical weights after
+    /// K iterations, for any mix of device models, either interconnect,
+    /// and either scheduling mode.
+    #[test]
+    fn replica_count_never_changes_the_bits(
+        iters in 1usize..=2,
+        models in prop::collection::vec(0usize..3, 4),
+        overlap in any::<bool>(),
+        nvlink in any::<bool>(),
+        data_seed in 0u64..1_000,
+    ) {
+        let shards = 4;
+        let reference = train(&[device(models[0])], shards, iters, false, false, data_seed);
+        let two: Vec<DeviceProps> = models[..2].iter().map(|&m| device(m)).collect();
+        let four: Vec<DeviceProps> = models.iter().map(|&m| device(m)).collect();
+        let got2 = train(&two, shards, iters, overlap, nvlink, data_seed);
+        let got4 = train(&four, shards, iters, overlap, nvlink, data_seed);
+        prop_assert_eq!(&reference, &got2, "2 replicas diverged from 1");
+        prop_assert_eq!(&reference, &got4, "4 replicas diverged from 1");
+    }
+}

@@ -81,6 +81,12 @@ fn check_segment(
             CmdRecord::Launch { stream, .. }
             | CmdRecord::RecordEvent { stream, .. }
             | CmdRecord::WaitEvent { stream, .. } => *stream,
+            // Peer-to-peer copy halves carry no *intra*-device ordering
+            // beyond stream FIFO order (their edges cross devices, and the
+            // merged fabric replay checks those); skip them here so a
+            // single-device replay neither stalls at a `CopyDst` nor
+            // misreads a copy as a launch.
+            CmdRecord::CopySrc { .. } | CmdRecord::CopyDst { .. } => continue,
             CmdRecord::Sync => continue,
         };
         if !fifos.contains_key(&sid) {
@@ -131,7 +137,8 @@ fn check_segment(
                             *e = (*e).max(*t);
                         }
                     }
-                    CmdRecord::Sync => {}
+                    // Filtered out at partition time.
+                    CmdRecord::CopySrc { .. } | CmdRecord::CopyDst { .. } | CmdRecord::Sync => {}
                 }
                 fifo.pop_front();
                 progressed = true;

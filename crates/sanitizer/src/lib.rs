@@ -25,6 +25,7 @@
 //! The [`Sanitizer`] accumulates [`Diagnostic`]s across checks; a clean
 //! run keeps [`Sanitizer::reports`] empty.
 
+pub mod fabric;
 pub mod hb;
 pub mod plan;
 pub mod report;
@@ -32,7 +33,7 @@ pub mod report;
 pub use plan::{DispatchPlan, PlanNode, PlanNodeRef};
 pub use report::{ConflictSite, Diagnostic, DiagnosticKind, KernelRef};
 
-use gpu_sim::{Device, KernelDesc};
+use gpu_sim::{CmdRecord, Device, Fabric, KernelDesc};
 
 /// How much checking the runtime should do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +73,9 @@ pub struct Sanitizer {
     stats: SanitizerStats,
     /// How much of the device command log has already been replayed.
     log_cursor: usize,
+    /// Per-device cursors for merged fabric replay ([`check_fabric`]
+    /// (Sanitizer::check_fabric)); indexed by fabric device index.
+    fabric_cursors: Vec<usize>,
 }
 
 impl Sanitizer {
@@ -216,6 +220,36 @@ impl Sanitizer {
             &mut self.reports,
         );
         self.log_cursor = log.len();
+        self.stats.trace_kernels += kernels;
+        self.stats.trace_pairs += pairs;
+    }
+
+    /// Dynamic cross-device check: replay the command-log suffixes of all
+    /// of a fabric's devices *together* since the last call, following
+    /// peer-to-peer copies across device boundaries. A copy reads its
+    /// source range on the source device and writes its destination range
+    /// on the destination device; the destination-side wait marker is the
+    /// happens-before edge consumers must be ordered behind. Use this (in
+    /// addition to per-device [`check_device`](Sanitizer::check_device))
+    /// whenever devices exchange data through a [`Fabric`].
+    pub fn check_fabric(&mut self, fabric: &Fabric, devs: &[&Device]) {
+        if !self.is_full() {
+            return;
+        }
+        self.fabric_cursors.resize(devs.len(), 0);
+        let logs: Vec<&[CmdRecord]> = devs
+            .iter()
+            .zip(&self.fabric_cursors)
+            .map(|(d, &cur)| &d.command_log()[cur.min(d.command_log().len())..])
+            .collect();
+        if logs.iter().all(|l| l.is_empty()) {
+            return;
+        }
+        let (kernels, pairs) =
+            fabric::check_fabric_logs(fabric, devs, &logs, "fabric-trace", &mut self.reports);
+        for (cur, d) in self.fabric_cursors.iter_mut().zip(devs) {
+            *cur = d.command_log().len();
+        }
         self.stats.trace_kernels += kernels;
         self.stats.trace_pairs += pairs;
     }

@@ -70,5 +70,7 @@ fn main() {
         );
     }
     println!("\nscaling = step-time speedup over 1 GPU at fixed global batch;");
-    println!("communication is a simulated ring all-reduce over a 16 GB/s link.");
+    println!("communication is a simulated ring all-reduce of per-layer gradient");
+    println!("buckets over a PCIe-like fabric (see `reproduce multi-gpu` for the");
+    println!("full interconnect x overlap sweep).");
 }

@@ -15,5 +15,6 @@ cargo test --workspace -q
 cargo run -p glp4nn-bench --release --bin reproduce -- serving --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- sanitize --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- replay --smoke
+cargo run -p glp4nn-bench --release --bin reproduce -- multi-gpu --smoke
 
 echo "ci: all checks passed"

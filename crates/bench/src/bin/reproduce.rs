@@ -22,6 +22,7 @@
 //!   serving  inference serving with dynamic batching  [--smoke]
 //!   sanitize stream-schedule sanitizer over 4 nets x 3 dispatch modes  [--smoke]
 //!   multi-gpu data-parallel scaling: replicas x interconnect x overlap  [--smoke]
+//!   trace    Chrome-trace export: 4 nets x 3 modes + multi-GPU overlap  [--smoke]
 //!   all      everything above
 //! ```
 //!
@@ -742,6 +743,55 @@ fn multi_gpu_cmd(smoke: bool) {
     println!("full sweep ran under the sanitizer (per-device + cross-device) with zero reports");
 }
 
+fn trace_cmd(smoke: bool) {
+    println!("== Trace: Chrome-trace export, 4 nets x 3 modes + a multi-GPU overlap run ==");
+    println!("(all span timestamps are simulated ns; traces open in chrome://tracing or Perfetto)");
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    println!(
+        "{:<10} {:<10} {:>7} {:>8} {:>7} {:>7}  file",
+        "net", "mode", "spans", "instants", "flows", "bytes"
+    );
+    let write_trace = |label: String, t: &telemetry::Telemetry, net: &str, mode: &str| {
+        let json = t.chrome_trace();
+        let summary = telemetry::validate_chrome_trace(&json)
+            .unwrap_or_else(|e| panic!("{label}: exported trace failed validation: {e}"));
+        assert_eq!(
+            summary.spans,
+            t.spans().len(),
+            "{label}: B/E pair count diverged from recorded spans"
+        );
+        let path = dir.join(format!("{label}.trace.json"));
+        std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+        println!(
+            "{:<10} {:<10} {:>7} {:>8} {:>7} {:>7}  {}",
+            net,
+            mode,
+            t.spans().len(),
+            t.instants().len(),
+            t.flows().len(),
+            json.len(),
+            path.display()
+        );
+    };
+    let modes = [
+        ("naive", DispatchMode::Naive),
+        ("8str", DispatchMode::FixedStreams(8)),
+        ("glp4nn", DispatchMode::Glp4nn),
+    ];
+    for net in ["CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"] {
+        for (label, mode) in modes {
+            let t = trace::trace_net(net, mode, smoke);
+            write_trace(format!("{}_{label}", net.to_lowercase()), &t, net, label);
+        }
+    }
+    let t = trace::trace_multi_gpu(smoke);
+    write_trace("multi_gpu_overlap".to_string(), &t, "CIFAR10", "dp-overlap");
+    println!("\n-- metrics snapshot of the multi-GPU overlap run --");
+    print!("{}", t.metrics_snapshot());
+    println!("\ntrace: 13 traces validated (strict B/E nesting per track) and written");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
@@ -773,6 +823,7 @@ fn main() {
         "sanitize" => sanitize(smoke),
         "replay" => replay(smoke),
         "multi-gpu" => multi_gpu_cmd(smoke),
+        "trace" => trace_cmd(smoke),
         "all" => {
             table1();
             println!();
@@ -811,10 +862,12 @@ fn main() {
             replay(smoke);
             println!();
             multi_gpu_cmd(smoke);
+            println!();
+            trace_cmd(smoke);
         }
         _ => {
             eprintln!(
-                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|replay|multi-gpu|all> [--iters N] [--smoke]"
+                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|replay|multi-gpu|trace|all> [--iters N] [--smoke]"
             );
             std::process::exit(2);
         }

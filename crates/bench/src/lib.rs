@@ -7,6 +7,7 @@
 
 pub mod multi_gpu;
 pub mod serving;
+pub mod trace;
 
 use glp4nn::Phase;
 use gpu_sim::DeviceProps;

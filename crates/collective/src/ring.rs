@@ -80,6 +80,21 @@ impl CommReport {
         }
         span
     }
+
+    /// Record this collective as a span on the shared collective track
+    /// (pid [`telemetry::COLLECTIVE_PID`], thread `tid`), once `fabric.run`
+    /// has resolved its copies. Returns the span recorded, if any.
+    pub fn emit_span(
+        &self,
+        fabric: &Fabric,
+        rec: &mut dyn telemetry::Recorder,
+        name: &str,
+        tid: u64,
+    ) -> Option<(u64, u64)> {
+        let (s, e) = self.span(fabric)?;
+        rec.span(telemetry::COLLECTIVE_PID, tid, name, "collective", s, e);
+        Some((s, e))
+    }
 }
 
 /// Ring communicator: one communication stream per device, plus a
@@ -88,6 +103,7 @@ impl CommReport {
 pub struct RingComm {
     streams: Vec<StreamId>,
     seq: u64,
+    telemetry: telemetry::RecorderSlot,
 }
 
 impl RingComm {
@@ -96,7 +112,30 @@ impl RingComm {
         RingComm {
             streams: devs.iter_mut().map(|d| d.create_stream()).collect(),
             seq: 0,
+            telemetry: telemetry::RecorderSlot::empty(),
         }
+    }
+
+    /// Count collective traffic (`collective.*` counters) on a shared
+    /// recorder. Span recording stays with the caller (via
+    /// [`CommReport::emit_span`]) because copy timings only exist after
+    /// `fabric.run`.
+    pub fn set_telemetry(&mut self, rec: telemetry::SharedRecorder) {
+        self.telemetry.attach(rec);
+    }
+
+    /// Detach the shared recorder.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry.clear();
+    }
+
+    fn count(&self, op: &'static str, rep: &CommReport) {
+        self.telemetry.with(|r| {
+            r.counter_add(op, 1);
+            r.counter_add("collective.bytes_on_wire", rep.bytes_on_wire);
+            r.counter_add("collective.copies", rep.copies.len() as u64);
+            r.counter_add("collective.reduce_kernels", rep.reduce_kernels);
+        });
     }
 
     /// The communication stream of device `r` (e.g. to make it wait on a
@@ -126,6 +165,9 @@ impl RingComm {
     ) -> Result<CommReport, FabricError> {
         let mut rep = self.reduce_scatter(fabric, devs, bucket)?;
         rep.absorb(self.all_gather(fabric, devs, bucket)?);
+        self.telemetry.with(|r| {
+            r.counter_add("collective.allreduces", 1);
+        });
         Ok(rep)
     }
 
@@ -186,6 +228,7 @@ impl RingComm {
                 rep.reduce_kernels += 1;
             }
         }
+        self.count("collective.reduce_scatters", &rep);
         Ok(rep)
     }
 
@@ -226,6 +269,7 @@ impl RingComm {
                 rep.bytes_on_wire += range.len();
             }
         }
+        self.count("collective.all_gathers", &rep);
         Ok(rep)
     }
 
@@ -273,6 +317,7 @@ impl RingComm {
                 rep.bytes_on_wire += range.len();
             }
         }
+        self.count("collective.broadcasts", &rep);
         Ok(rep)
     }
 

@@ -337,6 +337,9 @@ impl Glp4nn {
         let graph_key = format!("{}#graph", rt.scheduler.exec_plan_key(key));
         if rt.scheduler.plan_reuse() {
             if let Some(plan) = rt.analyzer.exec_plan_for(&graph_key) {
+                crate::scheduler::tel_instant(dev, "plan", "plan.cache_hits", || {
+                    format!("plan.replay {key_str}")
+                });
                 let report = plan.replay(dev);
                 if let Some(san) = sanitizer {
                     san.check_device(dev);
@@ -361,6 +364,9 @@ impl Glp4nn {
             }
             let plan = Arc::new(plan);
             rt.analyzer.store_exec_plan(&graph_key, Arc::clone(&plan));
+            crate::scheduler::tel_instant(dev, "plan", "plan.captures", || {
+                format!("plan.capture {key_str}")
+            });
             let report = plan.replay(dev);
             if let Some(san) = sanitizer {
                 san.check_device(dev);
@@ -370,6 +376,7 @@ impl Glp4nn {
 
         // Profiling path: serial capture on the default stream, recorded
         // by the tracker and fed to the analyzer — transient, runs once.
+        let profile_start = dev.now();
         self.tracker.ingest(gpu, dev.trace());
         self.tracker.enable(gpu);
         let plan = graph.capture(&key_str, &[dev.default_stream()]);
@@ -379,8 +386,17 @@ impl Glp4nn {
         }
         self.tracker.ingest(gpu, dev.trace());
         self.tracker.disable(gpu);
+        crate::scheduler::tel_span(dev, "profile", profile_start, dev.now(), || {
+            format!("profile {key_str}")
+        });
         let profiles = self.tracker.parse(gpu);
+        crate::scheduler::tel_instant(dev, "cupti", "cupti.flushes", || {
+            format!("cupti.flush gpu{gpu}")
+        });
         rt.analyzer.analyze(&key_str, &profiles);
+        crate::scheduler::tel_instant(dev, "milp", "milp.solves", || {
+            format!("milp.solve {key_str}")
+        });
         Ok(report)
     }
 

@@ -19,6 +19,51 @@ use gpu_sim::{Device, KernelDesc};
 use sanitizer::Sanitizer;
 use std::sync::Arc;
 
+/// Emit a host-track instant plus a counter bump on the device's attached
+/// recorder, if any. The name closure runs only when telemetry is
+/// attached, so the disabled path performs no formatting and no
+/// allocation.
+pub(crate) fn tel_instant(
+    dev: &Device,
+    cat: &str,
+    counter: &str,
+    make_name: impl FnOnce() -> String,
+) {
+    if let Some(rec) = dev.telemetry() {
+        let mut r = rec.lock().unwrap_or_else(|p| p.into_inner());
+        r.instant(
+            dev.telemetry_pid(),
+            telemetry::HOST_TID,
+            &make_name(),
+            cat,
+            dev.now(),
+        );
+        r.counter_add(counter, 1);
+    }
+}
+
+/// Emit a host-track span `[start_ns, end_ns]` on the device's attached
+/// recorder, if any.
+pub(crate) fn tel_span(
+    dev: &Device,
+    cat: &str,
+    start_ns: u64,
+    end_ns: u64,
+    make_name: impl FnOnce() -> String,
+) {
+    if let Some(rec) = dev.telemetry() {
+        let mut r = rec.lock().unwrap_or_else(|p| p.into_inner());
+        r.span(
+            dev.telemetry_pid(),
+            telemetry::HOST_TID,
+            &make_name(),
+            cat,
+            start_ns,
+            end_ns,
+        );
+    }
+}
+
 /// Per-GPU runtime scheduler.
 #[derive(Debug)]
 pub struct RuntimeScheduler {
@@ -83,6 +128,9 @@ impl RuntimeScheduler {
             return None;
         }
         let plan = Arc::clone(analyzer.exec_plan_for(&self.plan_key(&key.cache_key()))?);
+        tel_instant(dev, "plan", "plan.cache_hits", || {
+            format!("plan.replay {}", key.cache_key())
+        });
         let report = plan.replay(dev);
         if let Some(san) = sanitizer {
             san.check_device(dev);
@@ -189,6 +237,9 @@ impl RuntimeScheduler {
             }
             let plan = Arc::new(plan);
             analyzer.store_exec_plan(&self.plan_key(&key_str), Arc::clone(&plan));
+            tel_instant(dev, "plan", "plan.captures", || {
+                format!("plan.capture {key_str}")
+            });
             // Inter-layer synchronization (paper §2.1): the layer ends with
             // a device-wide barrier (inside replay).
             let report = plan.replay(dev);
@@ -208,6 +259,7 @@ impl RuntimeScheduler {
             // profiling plan itself is trivially race-free.
             san.check_chunks(&key_str, &groups);
         }
+        let profile_start = dev.now();
         tracker.ingest(self.gpu, dev.trace());
         tracker.enable(self.gpu);
         let pool = [streams.default_stream(dev)];
@@ -218,8 +270,17 @@ impl RuntimeScheduler {
         }
         tracker.ingest(self.gpu, dev.trace());
         tracker.disable(self.gpu);
+        tel_span(dev, "profile", profile_start, dev.now(), || {
+            format!("profile {key_str}")
+        });
         let profiles = tracker.parse(self.gpu);
+        tel_instant(dev, "cupti", "cupti.flushes", || {
+            format!("cupti.flush gpu{}", self.gpu)
+        });
         analyzer.analyze(&key_str, &profiles);
+        tel_instant(dev, "milp", "milp.solves", || {
+            format!("milp.solve {key_str}")
+        });
         Ok(report)
     }
 }

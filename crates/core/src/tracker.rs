@@ -70,7 +70,18 @@ impl ResourceTracker {
 
     /// Profiler overhead accounting for device `gpu` (Fig. 10 / Table 6).
     pub fn overhead(&self, gpu: usize) -> cupti_sim::ProfilerOverhead {
-        self.inner.lock().profilers[gpu].overhead().clone()
+        self.inner.lock().profilers[gpu].overhead()
+    }
+
+    /// Mirror device `gpu`'s profiler activity into a shared recorder
+    /// (ingest instants on the host track, record counters).
+    pub fn set_telemetry(&self, gpu: usize, rec: telemetry::SharedRecorder, pid: u32) {
+        self.inner.lock().profilers[gpu].set_telemetry(rec, pid);
+    }
+
+    /// Detach the shared recorder from device `gpu`'s profiler.
+    pub fn clear_telemetry(&self, gpu: usize) {
+        self.inner.lock().profilers[gpu].clear_telemetry();
     }
 }
 

@@ -6,11 +6,52 @@
 //! by the CUPTI runtime. All three live in **host** memory — they never
 //! compete with training data on the device — and are released once kernel
 //! analysis finishes.
+//!
+//! The accounting itself is kept in a [`telemetry::MetricsRegistry`]
+//! owned by the [`Profiler`](crate::Profiler) (counters named by
+//! [`metric`]); [`ProfilerOverhead`] is the typed snapshot view read back
+//! out of that registry for cost reports.
 
 use crate::activity::ActivityRecord;
 use std::time::Duration;
+use telemetry::MetricsRegistry;
 
-/// Memory and time overhead of the profiler, per the paper's cost model.
+/// Counter names the profiler accounts under in its metrics registry.
+pub mod metric {
+    /// Bytes devoted to kernel timestamps (`mem_tt`, Eq. 11).
+    pub const MEM_TT_BYTES: &str = "cupti.mem_tt_bytes";
+    /// Bytes devoted to kernel execution configurations (`mem_K`, Eq. 11).
+    pub const MEM_K_BYTES: &str = "cupti.mem_k_bytes";
+    /// Resident bytes pinned by the buffer pool (`mem_cupti`).
+    pub const MEM_CUPTI_BYTES: &str = "cupti.mem_cupti_bytes";
+    /// Kernels recorded.
+    pub const KERNELS_RECORDED: &str = "cupti.kernels_recorded";
+    /// Accumulated real profiling time (`T_p`), in nanoseconds.
+    pub const T_P_NANOS: &str = "cupti.t_p_ns";
+}
+
+/// Seed a fresh registry with the fixed pool-resident footprint.
+pub fn init_registry(m: &mut MetricsRegistry, pool_resident_bytes: usize) {
+    m.counter_add(metric::MEM_CUPTI_BYTES, pool_resident_bytes as u64);
+}
+
+/// Account one recorded kernel (Eq. 11 terms) into the registry.
+pub fn account_record(m: &mut MetricsRegistry, rec: &ActivityRecord) {
+    m.counter_add(metric::MEM_TT_BYTES, ActivityRecord::TIMESTAMP_BYTES as u64);
+    m.counter_add(
+        metric::MEM_K_BYTES,
+        (rec.encoded_len() - ActivityRecord::TIMESTAMP_BYTES) as u64,
+    );
+    m.counter_add(metric::KERNELS_RECORDED, 1);
+}
+
+/// Accrue real profiling time (`T_p`) into the registry.
+pub fn add_profiling_time(m: &mut MetricsRegistry, d: Duration) {
+    m.counter_add(metric::T_P_NANOS, d.as_nanos() as u64);
+}
+
+/// Memory and time overhead of the profiler, per the paper's cost model —
+/// a snapshot view over the profiler's metrics registry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProfilerOverhead {
     /// Bytes devoted to kernel timestamps (`mem_tt`).
@@ -26,27 +67,15 @@ pub struct ProfilerOverhead {
 }
 
 impl ProfilerOverhead {
-    /// Fresh accounting for a pool of `pool_resident_bytes`.
-    pub fn new(pool_resident_bytes: usize) -> Self {
+    /// Snapshot the overhead counters out of a profiler's registry.
+    pub fn from_metrics(m: &MetricsRegistry) -> Self {
         ProfilerOverhead {
-            mem_tt_bytes: 0,
-            mem_k_bytes: 0,
-            mem_cupti_bytes: pool_resident_bytes,
-            kernels_recorded: 0,
-            t_p: Duration::ZERO,
+            mem_tt_bytes: m.counter(metric::MEM_TT_BYTES) as usize,
+            mem_k_bytes: m.counter(metric::MEM_K_BYTES) as usize,
+            mem_cupti_bytes: m.counter(metric::MEM_CUPTI_BYTES) as usize,
+            kernels_recorded: m.counter(metric::KERNELS_RECORDED) as usize,
+            t_p: Duration::from_nanos(m.counter(metric::T_P_NANOS)),
         }
-    }
-
-    /// Account one recorded kernel (Eq. 11 terms).
-    pub fn account_record(&mut self, rec: &ActivityRecord) {
-        self.mem_tt_bytes += ActivityRecord::TIMESTAMP_BYTES;
-        self.mem_k_bytes += rec.encoded_len() - ActivityRecord::TIMESTAMP_BYTES;
-        self.kernels_recorded += 1;
-    }
-
-    /// Accrue real profiling time (`T_p`).
-    pub fn add_profiling_time(&mut self, d: Duration) {
-        self.t_p += d;
     }
 
     /// `mem_total` (Eq. 10).
@@ -78,22 +107,26 @@ mod tests {
 
     #[test]
     fn eq10_total_is_sum_of_parts() {
-        let mut o = ProfilerOverhead::new(1024);
-        o.account_record(&rec("abc"));
-        o.account_record(&rec("defgh"));
+        let mut m = MetricsRegistry::new();
+        init_registry(&mut m, 1024);
+        account_record(&mut m, &rec("abc"));
+        account_record(&mut m, &rec("defgh"));
+        let o = ProfilerOverhead::from_metrics(&m);
         assert_eq!(
             o.mem_total_bytes(),
             o.mem_tt_bytes + o.mem_k_bytes + o.mem_cupti_bytes
         );
+        assert_eq!(o.mem_cupti_bytes, 1024);
         assert_eq!(o.kernels_recorded, 2);
     }
 
     #[test]
     fn eq11_scales_with_kernel_count() {
-        let mut o = ProfilerOverhead::new(0);
+        let mut m = MetricsRegistry::new();
         for _ in 0..10 {
-            o.account_record(&rec("k"));
+            account_record(&mut m, &rec("k"));
         }
+        let o = ProfilerOverhead::from_metrics(&m);
         assert_eq!(o.mem_tt_bytes, 160);
         let per_k = ActivityRecord { ..rec("k") }.encoded_len() - ActivityRecord::TIMESTAMP_BYTES;
         assert_eq!(o.mem_k_bytes, 10 * per_k);
@@ -101,9 +134,10 @@ mod tests {
 
     #[test]
     fn time_accumulates() {
-        let mut o = ProfilerOverhead::new(0);
-        o.add_profiling_time(Duration::from_micros(5));
-        o.add_profiling_time(Duration::from_micros(7));
+        let mut m = MetricsRegistry::new();
+        add_profiling_time(&mut m, Duration::from_micros(5));
+        add_profiling_time(&mut m, Duration::from_micros(7));
+        let o = ProfilerOverhead::from_metrics(&m);
         assert_eq!(o.t_p, Duration::from_micros(12));
     }
 }

@@ -2,8 +2,9 @@
 
 use crate::activity::ActivityRecord;
 use crate::buffer::BufferPool;
-use crate::overhead::ProfilerOverhead;
+use crate::overhead::{self, ProfilerOverhead};
 use std::time::Instant;
+use telemetry::{MetricsRegistry, RecorderSlot, SharedRecorder};
 
 /// A compact kernel profiler in the style of a CUPTI subscriber.
 ///
@@ -12,11 +13,19 @@ use std::time::Instant;
 /// [`flush`](Profiler::flush) parsed records. While disabled, `ingest` is a
 /// no-op, so steady-state training (after GLP4NN's one-time profiling
 /// phase) pays zero overhead.
+///
+/// Overhead accounting (Eqs. 10-12) lives in a private
+/// [`telemetry::MetricsRegistry`]; an optionally attached shared recorder
+/// additionally receives per-batch ingest instants (stamped with the
+/// simulated completion time of the last kernel in the batch, never wall
+/// clock) and record counters.
 #[derive(Debug)]
 pub struct Profiler {
     enabled: bool,
     pool: BufferPool,
-    overhead: ProfilerOverhead,
+    metrics: MetricsRegistry,
+    telemetry: RecorderSlot,
+    telemetry_pid: u32,
     /// Trace entries already consumed (so repeated `ingest` of a growing
     /// device trace only processes new kernels).
     consumed: usize,
@@ -25,26 +34,37 @@ pub struct Profiler {
 impl Profiler {
     /// A profiler with the default buffer pool.
     pub fn new() -> Self {
-        let pool = BufferPool::default();
-        let overhead = ProfilerOverhead::new(pool.resident_bytes());
-        Profiler {
-            enabled: false,
-            pool,
-            overhead,
-            consumed: 0,
-        }
+        Self::from_pool(BufferPool::default())
     }
 
     /// A profiler with a custom buffer pool (size × count).
     pub fn with_pool(buffer_bytes: usize, num_buffers: usize) -> Self {
-        let pool = BufferPool::new(buffer_bytes, num_buffers);
-        let overhead = ProfilerOverhead::new(pool.resident_bytes());
+        Self::from_pool(BufferPool::new(buffer_bytes, num_buffers))
+    }
+
+    fn from_pool(pool: BufferPool) -> Self {
+        let mut metrics = MetricsRegistry::new();
+        overhead::init_registry(&mut metrics, pool.resident_bytes());
         Profiler {
             enabled: false,
             pool,
-            overhead,
+            metrics,
+            telemetry: RecorderSlot::empty(),
+            telemetry_pid: 0,
             consumed: 0,
         }
+    }
+
+    /// Mirror ingest activity into a shared recorder, attributed to
+    /// device `pid`.
+    pub fn set_telemetry(&mut self, rec: SharedRecorder, pid: u32) {
+        self.telemetry.attach(rec);
+        self.telemetry_pid = pid;
+    }
+
+    /// Detach the shared recorder.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry.clear();
     }
 
     /// Start recording kernel activity.
@@ -74,13 +94,26 @@ impl Profiler {
         }
         let t0 = Instant::now();
         let mut n = 0;
+        let mut batch_end_ns = 0u64;
         for t in new {
             let rec = ActivityRecord::from_trace(t);
-            self.overhead.account_record(&rec);
+            overhead::account_record(&mut self.metrics, &rec);
             self.pool.push(&rec);
+            batch_end_ns = batch_end_ns.max(rec.end_ns);
             n += 1;
         }
-        self.overhead.add_profiling_time(t0.elapsed());
+        overhead::add_profiling_time(&mut self.metrics, t0.elapsed());
+        let pid = self.telemetry_pid;
+        self.telemetry.with(|r| {
+            r.counter_add("cupti.records", n as u64);
+            r.instant(
+                pid,
+                telemetry::HOST_TID,
+                &format!("cupti.ingest x{n}"),
+                "cupti",
+                batch_end_ns,
+            );
+        });
         n
     }
 
@@ -97,7 +130,10 @@ impl Profiler {
                 out.push(rec);
             }
         }
-        self.overhead.add_profiling_time(t0.elapsed());
+        overhead::add_profiling_time(&mut self.metrics, t0.elapsed());
+        self.telemetry.with(|r| {
+            r.counter_add("cupti.flushed_records", out.len() as u64);
+        });
         out
     }
 
@@ -106,9 +142,15 @@ impl Profiler {
         self.pool.dropped()
     }
 
-    /// Memory/time overhead accounting.
-    pub fn overhead(&self) -> &ProfilerOverhead {
-        &self.overhead
+    /// Memory/time overhead accounting, snapshotted from the profiler's
+    /// metrics registry.
+    pub fn overhead(&self) -> ProfilerOverhead {
+        ProfilerOverhead::from_metrics(&self.metrics)
+    }
+
+    /// The raw metrics registry backing the overhead accounting.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 }
 

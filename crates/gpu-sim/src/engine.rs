@@ -34,6 +34,7 @@ use crate::SimTime;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::Arc;
+use telemetry::{RecorderSlot, SharedRecorder};
 
 /// Kernel lifecycle inside the engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,6 +156,15 @@ pub struct Device {
     copy_arrived: HashMap<u64, SimTime>,
     /// Streams blocked at a `CopyDst` front, waiting for the transfer.
     copy_waiters: HashMap<u64, StreamId>,
+    /// Optional telemetry recorder (kernel spans, event-dep flow arrows).
+    /// Empty slot = zero-cost off-path: no recording, no allocation, no
+    /// behavioural difference.
+    telemetry: RecorderSlot,
+    /// Chrome-trace process id used when telemetry is attached.
+    telemetry_pid: u32,
+    /// Recording stream and completion time per event, kept **only** while
+    /// telemetry is attached (feeds dependency flow arrows).
+    event_src: HashMap<u64, (StreamId, SimTime)>,
 }
 
 impl Device {
@@ -184,6 +194,9 @@ impl Device {
             copy_ready: Vec::new(),
             copy_arrived: HashMap::new(),
             copy_waiters: HashMap::new(),
+            telemetry: RecorderSlot::empty(),
+            telemetry_pid: 0,
+            event_src: HashMap::new(),
         }
     }
 
@@ -201,6 +214,51 @@ impl Device {
     /// Remove the launch hook.
     pub fn clear_launch_hook(&mut self) {
         self.launch_hook = None;
+    }
+
+    /// Attach a telemetry recorder. `pid` is the Chrome-trace process id
+    /// this device reports under (its fabric/device index by convention;
+    /// streams are the tids). Recording is observation-only: it never
+    /// creates streams or events, advances a clock, or changes how work
+    /// is scheduled, so timelines are identical with or without it.
+    pub fn set_telemetry(&mut self, rec: SharedRecorder, pid: u32) {
+        self.telemetry.attach(rec);
+        self.telemetry_pid = pid;
+    }
+
+    /// Detach the telemetry recorder, returning to the zero-cost off-path.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry.clear();
+        self.event_src.clear();
+    }
+
+    /// The attached telemetry recorder, if any (host-side layers — plan
+    /// capture, profiling — reuse the device's handle rather than
+    /// threading their own).
+    pub fn telemetry(&self) -> Option<&SharedRecorder> {
+        self.telemetry.get()
+    }
+
+    /// The Chrome-trace process id this device reports under.
+    pub fn telemetry_pid(&self) -> u32 {
+        self.telemetry_pid
+    }
+
+    /// Register this device's process/thread names (`gpuN`, `stream K`,
+    /// `host`) with a concrete [`telemetry::Telemetry`] so the exported
+    /// trace is labelled. Call once after the run, before export.
+    pub fn annotate_telemetry(&self, t: &mut telemetry::Telemetry) {
+        let pid = self.telemetry_pid;
+        t.set_process_name(pid, &format!("gpu{pid}"));
+        for s in 0..self.streams.len() {
+            let name = if s == 0 {
+                "stream 0 (default)".to_string()
+            } else {
+                format!("stream {s}")
+            };
+            t.set_thread_name(pid, s as u64, &name);
+        }
+        t.set_thread_name(pid, telemetry::HOST_TID, "host");
     }
 
     /// Current simulated device time (ns).
@@ -375,6 +433,17 @@ impl Device {
         );
         if self.streams.iter().all(|s| s.is_idle()) {
             self.push_sync_marker();
+        }
+        if self.telemetry.is_attached() {
+            let stats = self.stats();
+            let pid = self.telemetry_pid;
+            self.telemetry.with(|r| {
+                r.gauge_set(&format!("gpu{pid}.avg_occupancy"), stats.avg_occupancy);
+                r.gauge_set(
+                    &format!("gpu{pid}.total_kernel_time_ns"),
+                    stats.total_kernel_time_ns as f64,
+                );
+            });
         }
         self.clock
     }
@@ -582,13 +651,16 @@ impl Device {
                 Command::RecordEvent(ev) => {
                     let ev = *ev;
                     self.streams[s].queue.pop_front();
-                    self.complete_event(ev);
+                    self.complete_event(ev, sid);
                 }
                 Command::WaitEvent(ev) => {
                     let ev = *ev;
                     match self.events[ev.0 as usize] {
                         EventState::Completed(_) => {
                             self.streams[s].queue.pop_front();
+                            // The wait never blocked, but the ordering
+                            // edge still exists — record it.
+                            self.tel_dep_flow(ev, sid);
                         }
                         _ => {
                             // Block until the event completes.
@@ -632,10 +704,14 @@ impl Device {
         }
     }
 
-    fn complete_event(&mut self, ev: EventId) {
+    fn complete_event(&mut self, ev: EventId, recorded_in: StreamId) {
         self.events[ev.0 as usize] = EventState::Completed(self.clock);
+        if self.telemetry.is_attached() {
+            self.event_src.insert(ev.0, (recorded_in, self.clock));
+        }
         let waiters = std::mem::take(&mut self.event_waiters[ev.0 as usize]);
         for sid in waiters {
+            self.tel_dep_flow(ev, sid);
             // Drop the WaitEvent at the waiter's front and continue it.
             let s = sid.0 as usize;
             if let Some(Command::WaitEvent(e)) = self.streams[s].queue.front() {
@@ -645,6 +721,27 @@ impl Device {
             }
             self.advance_stream(sid);
         }
+    }
+
+    /// Flow arrow for the ordering edge `ev` imposes from its recording
+    /// stream onto `waiter`, when telemetry is attached.
+    fn tel_dep_flow(&mut self, ev: EventId, waiter: StreamId) {
+        if !self.telemetry.is_attached() {
+            return;
+        }
+        let Some(&(src, completed)) = self.event_src.get(&ev.0) else {
+            return;
+        };
+        let pid = self.telemetry_pid;
+        let now = self.clock;
+        self.telemetry.with(|r| {
+            r.flow(
+                "dep",
+                "event",
+                (pid, src.0 as u64, completed),
+                (pid, waiter.0 as u64, now),
+            );
+        });
     }
 
     /// A kernel reached its stream front with its launch issued.
@@ -692,6 +789,14 @@ impl Device {
                 self.kernels[id.0 as usize].start.unwrap_or(self.clock),
                 self.clock,
             ));
+            if self.telemetry.is_attached() {
+                let t = self.trace.last().expect("just pushed");
+                let pid = self.telemetry_pid;
+                self.telemetry.with(|r| {
+                    r.span(pid, sid.0 as u64, &t.name, "kernel", t.start_ns, t.end_ns);
+                    r.counter_add("gpu.kernels_completed", 1);
+                });
+            }
             self.active.retain(|&a| a != id);
             if let Some(next) = self.pending.pop_front() {
                 self.kernels[next.0 as usize].state = KState::Active;

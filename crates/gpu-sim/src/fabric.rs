@@ -221,6 +221,11 @@ pub struct Fabric {
     link_busy: Vec<Vec<SimTime>>,
     copies: Vec<CopyRecord>,
     jitter_seed: u64,
+    /// Optional telemetry recorder: P2P copy spans on the source stream,
+    /// transfer flow arrows to the destination, and link-byte counters.
+    /// Device index = Chrome-trace pid, matching the per-device
+    /// [`Device::set_telemetry`] convention.
+    telemetry: telemetry::RecorderSlot,
 }
 
 impl Fabric {
@@ -232,6 +237,7 @@ impl Fabric {
             link_busy: vec![vec![0; n]; n],
             copies: Vec::new(),
             jitter_seed: 0,
+            telemetry: telemetry::RecorderSlot::empty(),
         }
     }
 
@@ -282,6 +288,19 @@ impl Fabric {
     /// Seed for the deterministic per-copy jitter hash.
     pub fn set_jitter_seed(&mut self, seed: u64) {
         self.jitter_seed = seed;
+    }
+
+    /// Attach a telemetry recorder: each resolved P2P copy emits a span
+    /// on its source device's stream, a flow arrow to the destination
+    /// stream, and per-link byte counters. Observation-only — link
+    /// scheduling and timing are unaffected.
+    pub fn set_telemetry(&mut self, rec: telemetry::SharedRecorder) {
+        self.telemetry.attach(rec);
+    }
+
+    /// Detach the telemetry recorder.
+    pub fn clear_telemetry(&mut self) {
+        self.telemetry.clear();
     }
 
     /// Number of devices.
@@ -407,7 +426,7 @@ impl Fabric {
     /// the transfer end.
     fn resolve_copy(&mut self, devs: &mut [&mut Device], id: CopyId, ready: SimTime) {
         let idx = id.raw() as usize;
-        let (src, dst, bytes, name, stream, launch_ns) = {
+        let (src, dst, bytes, name, stream, dst_stream, launch_ns) = {
             let d = &self.copies[idx].desc;
             (
                 d.src,
@@ -415,6 +434,7 @@ impl Fabric {
                 d.bytes,
                 d.name.clone(),
                 d.src_stream,
+                d.dst_stream,
                 self.copies[idx].launch_ns,
             )
         };
@@ -426,6 +446,20 @@ impl Fabric {
         self.copies[idx].end = Some(end);
         // The copy shows up in the source device's timeline like a kernel
         // (tagged with its fabric-wide copy id).
+        if self.telemetry.is_attached() {
+            self.telemetry.with(|r| {
+                r.span(src as u32, stream.raw() as u64, &name, "p2p", start, end);
+                r.flow(
+                    &name,
+                    "p2p",
+                    (src as u32, stream.raw() as u64, end),
+                    (dst as u32, dst_stream.raw() as u64, end),
+                );
+                r.counter_add("fabric.p2p_copies", 1);
+                r.counter_add("fabric.link_bytes", bytes);
+                r.counter_add(&format!("fabric.link_bytes.{src}->{dst}"), bytes);
+            });
+        }
         devs[src].push_trace_entry(KernelTrace {
             id: KernelId(u64::MAX - id.raw()),
             name,

@@ -150,6 +150,26 @@ impl ExecCtx {
         self
     }
 
+    /// Attach a shared telemetry recorder: the device records kernel spans
+    /// and event-dependency flows under process `pid`, and in Glp4nn mode
+    /// the framework's profiler mirrors its ingest activity. Observation
+    /// only — attaching changes neither the simulated timeline nor any
+    /// numerics.
+    pub fn set_telemetry(&mut self, rec: telemetry::SharedRecorder, pid: u32) {
+        self.device.set_telemetry(Arc::clone(&rec), pid);
+        if let Some(glp) = self.glp.as_ref() {
+            glp.tracker().set_telemetry(self.gpu, rec, pid);
+        }
+    }
+
+    /// Detach the shared telemetry recorder.
+    pub fn clear_telemetry(&mut self) {
+        self.device.clear_telemetry();
+        if let Some(glp) = self.glp.as_ref() {
+            glp.tracker().clear_telemetry(self.gpu);
+        }
+    }
+
     /// Enable schedule sanitizing: `PlanOnly` statically validates every
     /// dispatch plan (chunk-region disjointness, hazards, wait cycles)
     /// before launch; `Full` additionally replays the executed command
@@ -305,6 +325,7 @@ impl ExecCtx {
         if self.plan_reuse {
             if let Some(plan) = self.plans.get(&key) {
                 let plan = Arc::clone(plan);
+                self.tel_plan_event("plan.cache_hits", "plan.replay", &key);
                 return self.replay_or_issue(&plan);
             }
         }
@@ -322,10 +343,29 @@ impl ExecCtx {
             plan.validate(&mut self.sanitizer);
         }
         self.captures += 1;
+        self.tel_plan_event("plan.captures", "plan.capture", &key);
         let plan = Arc::new(plan);
         let report = self.replay_or_issue(&plan);
         self.plans.insert(key, plan);
         report
+    }
+
+    /// Mirror one self-dispatched plan-cache event (capture or replay
+    /// hit) into the attached telemetry recorder: a counter bump plus a
+    /// host-track instant. Zero-cost when no recorder is attached — the
+    /// name string is only built behind the attachment check.
+    fn tel_plan_event(&self, counter: &str, verb: &str, key: &str) {
+        if let Some(rec) = self.device.telemetry() {
+            let mut r = rec.lock().unwrap_or_else(|poison| poison.into_inner());
+            r.instant(
+                self.device.telemetry_pid(),
+                telemetry::HOST_TID,
+                &format!("{verb} {key}"),
+                "plan",
+                self.device.now(),
+            );
+            r.counter_add(counter, 1);
+        }
     }
 
     /// Eager mode: replay the plan (issue + run to completion). Deferred

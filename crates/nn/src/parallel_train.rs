@@ -82,6 +82,7 @@ pub struct DataParallelTrainer {
     /// Merged cross-device trace checking (per-device checking lives in
     /// each replica's context).
     sanitizer: Sanitizer,
+    telemetry: telemetry::RecorderSlot,
 }
 
 impl DataParallelTrainer {
@@ -120,7 +121,41 @@ impl DataParallelTrainer {
             overlap: false,
             shards,
             sanitizer: Sanitizer::default(),
+            telemetry: telemetry::RecorderSlot::empty(),
         }
+    }
+
+    /// Attach a shared telemetry recorder to the whole trainer: every
+    /// replica's device (pid = replica index), the fabric (P2P copy spans
+    /// and flow arrows), the ring communicator (traffic counters), and the
+    /// trainer itself (per-iteration collective spans and step metrics).
+    /// Observation only: timelines and trained weights are unchanged.
+    pub fn set_telemetry(&mut self, rec: telemetry::SharedRecorder) {
+        for (r, (_, ctx)) in self.replicas.iter_mut().enumerate() {
+            ctx.set_telemetry(std::sync::Arc::clone(&rec), r as u32);
+        }
+        self.fabric.set_telemetry(std::sync::Arc::clone(&rec));
+        self.comm.set_telemetry(std::sync::Arc::clone(&rec));
+        self.telemetry.attach(rec);
+    }
+
+    /// Detach the shared telemetry recorder everywhere.
+    pub fn clear_telemetry(&mut self) {
+        for (_, ctx) in &mut self.replicas {
+            ctx.clear_telemetry();
+        }
+        self.fabric.clear_telemetry();
+        self.comm.clear_telemetry();
+        self.telemetry.clear();
+    }
+
+    /// Name the processes/threads this trainer records under (call once
+    /// before export).
+    pub fn annotate_telemetry(&self, t: &mut telemetry::Telemetry) {
+        for (_, ctx) in &self.replicas {
+            ctx.device.annotate_telemetry(t);
+        }
+        t.set_process_name(telemetry::COLLECTIVE_PID, "collectives");
     }
 
     /// Rebuild the interconnect ring with `link` (e.g.
@@ -421,7 +456,7 @@ impl DataParallelTrainer {
     /// backward has issued; otherwise the eager backward completes first
     /// and buckets are enqueued afterwards, to be driven by the single
     /// `Fabric::run` in [`finish_iteration`].
-    fn backward_with_allreduce(&mut self) -> Vec<CommReport> {
+    fn backward_with_allreduce(&mut self) -> Vec<(String, CommReport)> {
         let r_count = self.replicas.len();
         let num_layers = self.replicas[0].0.num_layers();
         let names = self.replicas[0].0.layer_names();
@@ -433,26 +468,28 @@ impl DataParallelTrainer {
             }
             if r_count > 1 && overlapped {
                 if let Some(bucket) = self.layer_bucket(i, &names) {
-                    reports.push(all_reduce_bucket(
+                    let rep = all_reduce_bucket(
                         &mut self.replicas,
                         &mut self.fabric,
                         &mut self.comm,
                         &bucket,
                         true,
-                    ));
+                    );
+                    reports.push((bucket.label, rep));
                 }
             }
         }
         if r_count > 1 && !overlapped {
             for i in (0..num_layers).rev() {
                 if let Some(bucket) = self.layer_bucket(i, &names) {
-                    reports.push(all_reduce_bucket(
+                    let rep = all_reduce_bucket(
                         &mut self.replicas,
                         &mut self.fabric,
                         &mut self.comm,
                         &bucket,
                         false,
-                    ));
+                    );
+                    reports.push((bucket.label, rep));
                 }
             }
         }
@@ -475,7 +512,11 @@ impl DataParallelTrainer {
     /// Drive everything still queued (deferred compute, collectives) to
     /// completion, close the iteration's trace segment, run sanitizer
     /// checks, and compute the step's timing triple.
-    fn finish_iteration(&mut self, t0: &[SimTime], comm_reports: &[CommReport]) -> (u64, u64, u64) {
+    fn finish_iteration(
+        &mut self,
+        t0: &[SimTime],
+        comm_reports: &[(String, CommReport)],
+    ) -> (u64, u64, u64) {
         {
             let mut devs: Vec<&mut Device> = self
                 .replicas
@@ -496,7 +537,10 @@ impl DataParallelTrainer {
             compute_ns = wall_ns;
         }
         let mut span: Option<(u64, u64)> = None;
-        for rep in comm_reports {
+        for (tid, (label, rep)) in comm_reports.iter().enumerate() {
+            self.telemetry.with(|r| {
+                rep.emit_span(&self.fabric, r, &format!("allreduce {label}"), tid as u64);
+            });
             if let Some((s, e)) = rep.span(&self.fabric) {
                 span = Some(match span {
                     None => (s, e),
@@ -512,6 +556,12 @@ impl DataParallelTrainer {
             let views: Vec<&Device> = self.replicas.iter().map(|(_, c)| &c.device).collect();
             self.sanitizer.check_fabric(&self.fabric, &views);
         }
+        self.telemetry.with(|r| {
+            r.counter_add("train.iterations", 1);
+            r.observe("train.step_wall_ns", wall_ns);
+            r.observe("train.step_compute_ns", compute_ns);
+            r.observe("train.step_comm_ns", comm_ns);
+        });
         (compute_ns, comm_ns, wall_ns)
     }
 }

@@ -45,6 +45,7 @@ pub struct ServingEngine {
     net: Net,
     spec: NetSpec,
     output_blob: String,
+    telemetry: telemetry::RecorderSlot,
 }
 
 impl ServingEngine {
@@ -64,7 +65,30 @@ impl ServingEngine {
             ctx,
             spec,
             output_blob,
+            telemetry: telemetry::RecorderSlot::empty(),
         })
+    }
+
+    /// Attach a shared telemetry recorder: the device records kernel spans
+    /// under pid 0, and the serving loop records request/batch lifecycle
+    /// spans under [`telemetry::SERVE_PID`]. Observation only.
+    pub fn set_telemetry(&mut self, rec: telemetry::SharedRecorder) {
+        self.ctx.set_telemetry(std::sync::Arc::clone(&rec), 0);
+        self.telemetry.attach(rec);
+    }
+
+    /// Detach the shared telemetry recorder.
+    pub fn clear_telemetry(&mut self) {
+        self.ctx.clear_telemetry();
+        self.telemetry.clear();
+    }
+
+    /// Name the processes/threads this engine records under (call once
+    /// before export).
+    pub fn annotate_telemetry(&self, t: &mut telemetry::Telemetry) {
+        self.ctx.device.annotate_telemetry(t);
+        t.set_process_name(telemetry::SERVE_PID, "serve");
+        t.set_thread_name(telemetry::SERVE_PID, 0, "batches");
     }
 
     /// Fill `net`'s input blobs for a batch of request ids, resizing every
@@ -145,8 +169,24 @@ impl ServingEngine {
 /// Run a full serving experiment: warmup, Poisson arrivals, dynamic
 /// batching, and metrics over the simulated clock.
 pub fn run_serving(config: &ServeConfig) -> Result<ServingReport, UnknownModelError> {
+    run_serving_traced(config, None)
+}
+
+/// Like [`run_serving`], with an optional shared telemetry recorder
+/// attached after warmup: kernel spans land under pid 0, request/batch
+/// lifecycle spans under [`telemetry::SERVE_PID`], and queue/batch/latency
+/// metrics in the registry. Attaching changes nothing about the schedule —
+/// the report is identical either way.
+pub fn run_serving_traced(
+    config: &ServeConfig,
+    rec: Option<telemetry::SharedRecorder>,
+) -> Result<ServingReport, UnknownModelError> {
     let mut engine = ServingEngine::new(config)?;
     engine.warmup(config.policy.max_batch);
+    if let Some(rec) = rec {
+        // Attach after warmup so the trace covers steady-state serving.
+        engine.set_telemetry(rec);
+    }
 
     // Measurement starts after warmup; arrivals are offset to the warm
     // clock so queueing delays are never negative.
@@ -171,6 +211,7 @@ pub fn run_serving(config: &ServeConfig) -> Result<ServingReport, UnknownModelEr
 
         match config.policy.decide(now, &queue) {
             BatchDecision::Fire(k) => {
+                let depth = queue.len();
                 let batch = queue.pop_batch(k);
                 let ids: Vec<u64> = batch.iter().map(|r| r.id).collect();
                 let start = engine.now();
@@ -178,7 +219,34 @@ pub fn run_serving(config: &ServeConfig) -> Result<ServingReport, UnknownModelEr
                 let done = engine.now();
                 batches += 1;
                 batched_total += batch.len();
+                engine.telemetry.with(|rec| {
+                    use telemetry::SERVE_PID;
+                    rec.span(
+                        SERVE_PID,
+                        0,
+                        &format!("batch x{}", batch.len()),
+                        "serve",
+                        start,
+                        done,
+                    );
+                    rec.counter_add("serve.batches", 1);
+                    rec.gauge_set("serve.queue_depth", depth as f64);
+                    rec.observe("serve.queue_depth", depth as u64);
+                    rec.observe("serve.batch_size", batch.len() as u64);
+                });
                 for r in &batch {
+                    engine.telemetry.with(|rec| {
+                        use telemetry::SERVE_PID;
+                        let tid = 1 + r.id;
+                        let name = format!("request {}", r.id);
+                        rec.span(SERVE_PID, tid, &name, "serve", r.arrival_ns, done);
+                        if start > r.arrival_ns {
+                            rec.span(SERVE_PID, tid, "queued", "serve", r.arrival_ns, start);
+                        }
+                        rec.span(SERVE_PID, tid, "exec", "serve", start, done);
+                        rec.counter_add("serve.completed", 1);
+                        rec.observe("serve.latency_ns", done - r.arrival_ns);
+                    });
                     completions.push(Completion {
                         id: r.id,
                         arrival_ns: r.arrival_ns,
@@ -212,6 +280,13 @@ pub fn run_serving(config: &ServeConfig) -> Result<ServingReport, UnknownModelEr
     // latency summary exists whenever num_requests > 0.
     let latency =
         LatencyStats::from_completions(&completions).expect("serving run with zero completions");
+    engine.telemetry.with(|rec| {
+        rec.counter_add("serve.shed", queue.shed_count() as u64);
+        rec.gauge_set(
+            "serve.throughput_rps",
+            throughput_rps(completions.len(), makespan_ns),
+        );
+    });
     Ok(ServingReport {
         completed: completions.len(),
         shed: queue.shed_count(),

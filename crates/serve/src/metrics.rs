@@ -1,7 +1,9 @@
-//! Latency and throughput metrics from the simulated clock.
+//! Latency and throughput metrics from the simulated clock — a thin view
+//! over the shared [`telemetry`] histogram/percentile machinery.
 
 use crate::request::Completion;
 use gpu_sim::SimTime;
+use telemetry::Histogram;
 
 /// Latency distribution summary (nearest-rank percentiles, ns).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,29 +21,34 @@ pub struct LatencyStats {
 impl LatencyStats {
     /// Summarize a set of completions. Returns `None` if empty.
     pub fn from_completions(completions: &[Completion]) -> Option<Self> {
-        let mut lat: Vec<SimTime> = completions.iter().map(|c| c.latency_ns()).collect();
-        if lat.is_empty() {
+        let mut hist = Histogram::new();
+        for c in completions {
+            hist.record(c.latency_ns());
+        }
+        Self::from_histogram(&hist)
+    }
+
+    /// Summarize a latency histogram. Returns `None` if empty.
+    pub fn from_histogram(hist: &Histogram) -> Option<Self> {
+        if hist.is_empty() {
             return None;
         }
-        lat.sort_unstable();
         Some(LatencyStats {
-            p50_ns: percentile(&lat, 50.0),
-            p95_ns: percentile(&lat, 95.0),
-            p99_ns: percentile(&lat, 99.0),
-            max_ns: *lat.last().unwrap(),
+            p50_ns: hist.percentile(50.0),
+            p95_ns: hist.percentile(95.0),
+            p99_ns: hist.percentile(99.0),
+            max_ns: hist.max()?,
         })
     }
 }
 
-/// Nearest-rank percentile of an ascending-sorted slice.
+/// Nearest-rank percentile of an ascending-sorted slice (delegates to
+/// [`telemetry::percentile_of_sorted`]).
 ///
 /// # Panics
 /// Panics on an empty slice or a percentile outside `(0, 100]`.
 pub fn percentile(sorted: &[SimTime], p: f64) -> SimTime {
-    assert!(!sorted.is_empty(), "percentile of empty slice");
-    assert!(p > 0.0 && p <= 100.0, "percentile out of range: {p}");
-    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
-    sorted[rank.max(1) - 1]
+    telemetry::percentile_of_sorted(sorted, p)
 }
 
 /// Completed requests per simulated second over `span_ns`.
@@ -66,6 +73,29 @@ mod tests {
         let small = vec![7];
         assert_eq!(percentile(&small, 50.0), 7);
         assert_eq!(percentile(&small, 99.0), 7);
+    }
+
+    #[test]
+    fn histogram_percentiles_match_direct_percentile() {
+        // Same known-quantile inputs through both paths: the raw
+        // nearest-rank helper and the histogram it is folded into.
+        let mut hist = Histogram::new();
+        let mut v: Vec<SimTime> = (1..=100).rev().collect();
+        for &x in &v {
+            hist.record(x);
+        }
+        v.sort_unstable();
+        for p in [1.0, 50.0, 90.0, 95.0, 99.0, 100.0] {
+            assert_eq!(hist.percentile(p), percentile(&v, p), "p{p}");
+        }
+        assert_eq!(hist.percentile(50.0), 50);
+        assert_eq!(hist.max(), Some(100));
+        let s = LatencyStats::from_histogram(&hist).unwrap();
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p95_ns, 95);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert!(LatencyStats::from_histogram(&Histogram::new()).is_none());
     }
 
     #[test]

@@ -1,0 +1,34 @@
+//! CLI wrapper around [`telemetry::validate::validate_chrome_trace`]:
+//! validates each Chrome-trace JSON file passed on the command line and
+//! exits non-zero on the first structural failure. CI round-trips the
+//! traces emitted by `reproduce trace --smoke` through this binary.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        eprintln!("usage: validate-trace <trace.json>...");
+        return ExitCode::from(2);
+    }
+    for path in &files {
+        let input = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{path}: read failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match telemetry::validate::validate_chrome_trace(&input) {
+            Ok(s) => println!(
+                "{path}: ok — {} events ({} spans, {} instants, {} flows, {} tracks)",
+                s.events, s.spans, s.instants, s.flows, s.tracks
+            ),
+            Err(e) => {
+                eprintln!("{path}: INVALID — {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,219 @@
+//! Structural validation of Chrome-trace JSON documents.
+//!
+//! Used by the golden-file test and by the `validate-trace` binary that
+//! CI round-trips emitted traces through. Checks, per document:
+//!
+//! - well-formed JSON with a `traceEvents` array (or a bare array);
+//! - every event has a `ph`, and duration/instant/flow events carry
+//!   `pid`/`tid`/`ts`;
+//! - `B`/`E` pairs balance and nest strictly per `(pid, tid)` track, with
+//!   matching names and non-decreasing timestamps;
+//! - flow `s`/`f` halves pair up one-to-one by id.
+
+use crate::json::{parse, Value};
+
+/// Summary of a successfully validated trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Total events in `traceEvents`.
+    pub events: usize,
+    /// Completed `B`/`E` span pairs.
+    pub spans: usize,
+    /// Instant (`i`) events.
+    pub instants: usize,
+    /// Paired flow arrows.
+    pub flows: usize,
+    /// Distinct `(pid, tid)` tracks carrying spans or instants.
+    pub tracks: usize,
+}
+
+/// Validate a Chrome-trace JSON document; returns a summary or the first
+/// structural error found.
+pub fn validate_chrome_trace(input: &str) -> Result<TraceSummary, String> {
+    let doc = parse(input).map_err(|e| e.to_string())?;
+    let events = match (&doc, doc.get("traceEvents")) {
+        (_, Some(Value::Array(evs))) => evs.as_slice(),
+        (Value::Array(evs), _) => evs.as_slice(),
+        _ => return Err("no traceEvents array".to_string()),
+    };
+
+    // Per-track open-span stack: (name, ts).
+    let mut stacks: std::collections::BTreeMap<(u64, u64), Vec<(String, f64)>> =
+        std::collections::BTreeMap::new();
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> =
+        std::collections::BTreeMap::new();
+    let mut flow_starts: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut flow_ends: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut tracks: std::collections::BTreeSet<(u64, u64)> = std::collections::BTreeSet::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {idx}: missing ph"))?;
+        let name = ev.get("name").and_then(Value::as_str).unwrap_or("");
+        if ph == "M" {
+            continue; // metadata: no pid/tid/ts requirements beyond pid
+        }
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {idx} ({name}): missing pid"))? as u64;
+        let tid = ev
+            .get("tid")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {idx} ({name}): missing tid"))? as u64;
+        let ts = ev
+            .get("ts")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("event {idx} ({name}): missing ts"))?;
+        let track = (pid, tid);
+        if matches!(ph, "B" | "E" | "i") {
+            tracks.insert(track);
+        }
+        match ph {
+            // B/E must advance monotonically per track (the writer emits
+            // them in stack order); instants live in a separate pass per
+            // track and only need to be well-formed.
+            "B" | "E" => {
+                let prev = last_ts.get(&track).copied().unwrap_or(f64::MIN);
+                if ts < prev {
+                    return Err(format!(
+                        "event {idx} ({name}): ts {ts} goes backwards on track pid={pid} tid={tid}"
+                    ));
+                }
+                last_ts.insert(track, ts);
+            }
+            _ => {}
+        }
+        match ph {
+            "B" => stacks
+                .entry(track)
+                .or_default()
+                .push((name.to_string(), ts)),
+            "E" => {
+                let (open_name, open_ts) = stacks
+                    .entry(track)
+                    .or_default()
+                    .pop()
+                    .ok_or_else(|| format!("event {idx} ({name}): E without open B"))?;
+                if !name.is_empty() && open_name != name {
+                    return Err(format!(
+                        "event {idx}: E '{name}' does not match open B '{open_name}'"
+                    ));
+                }
+                if ts < open_ts {
+                    return Err(format!("event {idx} ({name}): span ends before it begins"));
+                }
+                spans += 1;
+            }
+            "i" => instants += 1,
+            "s" | "f" => {
+                let id = ev
+                    .get("id")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {idx} ({name}): flow without id"))?
+                    as u64;
+                let book = if ph == "s" {
+                    &mut flow_starts
+                } else {
+                    &mut flow_ends
+                };
+                *book.entry(id).or_insert(0) += 1;
+            }
+            other => return Err(format!("event {idx} ({name}): unknown ph '{other}'")),
+        }
+    }
+
+    for (track, stack) in &stacks {
+        if let Some((name, _)) = stack.last() {
+            return Err(format!(
+                "unclosed span '{name}' on track pid={} tid={}",
+                track.0, track.1
+            ));
+        }
+    }
+    if flow_starts != flow_ends {
+        return Err(format!(
+            "flow halves do not pair up: {} starts vs {} finishes",
+            flow_starts.values().sum::<usize>(),
+            flow_ends.values().sum::<usize>()
+        ));
+    }
+    if let Some((id, n)) = flow_starts.iter().find(|(_, n)| **n != 1) {
+        return Err(format!("flow id {id} appears {n} times"));
+    }
+
+    Ok(TraceSummary {
+        events: events.len(),
+        spans,
+        instants,
+        flows: flow_starts.len(),
+        tracks: tracks.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Recorder, Telemetry};
+
+    #[test]
+    fn accepts_writer_output() {
+        let mut t = Telemetry::new();
+        t.set_process_name(0, "gpu0");
+        t.span(0, 1, "a", "kernel", 0, 10);
+        t.span(0, 1, "b", "kernel", 10, 30);
+        t.instant(0, 1, "cap", "plan", 5);
+        t.flow("dep", "event", (0, 1, 10), (0, 2, 10));
+        let s = validate_chrome_trace(&t.chrome_trace()).unwrap();
+        assert_eq!(s.spans, 2);
+        assert_eq!(s.instants, 1);
+        assert_eq!(s.flows, 1);
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_misnested() {
+        let unbalanced = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":0,"tid":1,"ts":1.0}]}"#;
+        assert!(validate_chrome_trace(unbalanced)
+            .unwrap_err()
+            .contains("unclosed"));
+        let crossed = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":0,"tid":1,"ts":1.0},
+            {"name":"b","ph":"B","pid":0,"tid":1,"ts":2.0},
+            {"name":"a","ph":"E","pid":0,"tid":1,"ts":3.0},
+            {"name":"b","ph":"E","pid":0,"tid":1,"ts":4.0}]}"#;
+        assert!(validate_chrome_trace(crossed)
+            .unwrap_err()
+            .contains("does not match"));
+        let orphan_e = r#"{"traceEvents":[
+            {"name":"x","ph":"E","pid":0,"tid":1,"ts":1.0}]}"#;
+        assert!(validate_chrome_trace(orphan_e)
+            .unwrap_err()
+            .contains("without open B"));
+    }
+
+    #[test]
+    fn rejects_backwards_time_and_dangling_flows() {
+        let backwards = r#"{"traceEvents":[
+            {"name":"a","ph":"B","pid":0,"tid":1,"ts":5.0},
+            {"name":"a","ph":"E","pid":0,"tid":1,"ts":4.0}]}"#;
+        assert!(validate_chrome_trace(backwards).is_err());
+        let dangling = r#"{"traceEvents":[
+            {"name":"d","ph":"s","id":1,"pid":0,"tid":1,"ts":1.0}]}"#;
+        assert!(validate_chrome_trace(dangling)
+            .unwrap_err()
+            .contains("pair"));
+    }
+
+    #[test]
+    fn rejects_non_json() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"a\":1}")
+            .unwrap_err()
+            .contains("traceEvents"));
+    }
+}

@@ -2,9 +2,12 @@
 # CI gate: formatting, lints, build, full test suite, the serving smoke
 # sweep (deterministic; asserts GLP4NN throughput >= naive), the
 # schedule-sanitizer smoke matrix (asserts zero diagnostics across
-# 4 nets x 3 dispatch modes under full happens-before checking), and the
+# 4 nets x 3 dispatch modes under full happens-before checking), the
 # plan-replay smoke matrix (asserts replayed ExecPlan timelines are
-# identical to imperative dispatch for 4 nets x 3 modes).
+# identical to imperative dispatch for 4 nets x 3 modes), and the
+# telemetry trace smoke (emits Chrome traces for 4 nets x 3 modes plus a
+# multi-GPU overlap run, then round-trips every emitted file through the
+# standalone validate-trace binary).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,5 +19,7 @@ cargo run -p glp4nn-bench --release --bin reproduce -- serving --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- sanitize --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- replay --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- multi-gpu --smoke
+cargo run -p glp4nn-bench --release --bin reproduce -- trace --smoke
+cargo run -p telemetry --release --bin validate-trace -- target/telemetry/*.trace.json
 
 echo "ci: all checks passed"

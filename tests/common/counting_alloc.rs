@@ -1,0 +1,57 @@
+//! A counting global allocator for allocation-budget assertions.
+//!
+//! Install it in the test binary's root —
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOCATOR: common::counting_alloc::CountingAlloc =
+//!     common::counting_alloc::CountingAlloc;
+//! ```
+//!
+//! — then bracket the code under measurement with [`start`]/[`stop`].
+//! Counting is off by default, so test-harness setup does not pollute
+//! the counter; binaries using it should still keep the measured tests
+//! in their own test binary for isolation.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A `#[global_allocator]` that counts `alloc`/`realloc` calls while
+/// armed via [`start`], delegating all actual work to [`System`].
+pub struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Zero the counter and start counting allocations.
+pub fn start() {
+    ALLOCS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+}
+
+/// Stop counting and return the number of `alloc`/`realloc` calls since
+/// [`start`].
+pub fn stop() -> u64 {
+    COUNTING.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}

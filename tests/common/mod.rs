@@ -1,0 +1,5 @@
+//! Helpers shared by the root integration-test binaries (pulled in via
+//! `#[path = "common/mod.rs"] mod common;` — `autotests = false` keeps
+//! this file from becoming a test binary of its own).
+
+pub mod counting_alloc;

@@ -3,46 +3,28 @@
 //! The acceptance bar for capture-once / replay-many: a warm replay's
 //! issue loop performs no per-kernel heap allocation — kernel descriptors
 //! are shared `Arc`s, round-robin plans need zero events, and the
-//! device's internal queues are amortized. A counting global allocator
-//! measures the issue phase of a warm replay and asserts the allocation
-//! count stays below the kernel count (i.e. strictly sub-per-kernel; the
-//! handful that remain are amortized `Vec` growth inside the simulator).
+//! device's internal queues are amortized. The shared counting allocator
+//! (`tests/common/counting_alloc.rs`) measures the issue phase of a warm
+//! replay and the tests assert the allocation count stays below the
+//! kernel count (i.e. strictly sub-per-kernel; the handful that remain
+//! are amortized `Vec` growth inside the simulator).
+//!
+//! Telemetry must not change that: with no recorder attached — including
+//! after one was attached and detached again — the instrumentation is a
+//! `None` check and the same sub-per-kernel bound holds.
 //!
 //! Lives in its own test binary so other tests' allocations cannot
 //! pollute the counter.
 
+#[path = "common/mod.rs"]
+mod common;
+
+use common::counting_alloc;
 use glp4nn::{ExecMode, ExecPlan};
 use gpu_sim::{Device, DeviceProps, Dim3, KernelCost, KernelDesc, LaunchConfig};
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-
-struct CountingAlloc;
-
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-static COUNTING: AtomicBool = AtomicBool::new(false);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.alloc(layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCS.fetch_add(1, Ordering::Relaxed);
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-}
 
 #[global_allocator]
-static ALLOCATOR: CountingAlloc = CountingAlloc;
+static ALLOCATOR: counting_alloc::CountingAlloc = counting_alloc::CountingAlloc;
 
 fn groups(n: u64, chain: usize) -> Vec<Vec<KernelDesc>> {
     (0..n)
@@ -61,6 +43,20 @@ fn groups(n: u64, chain: usize) -> Vec<Vec<KernelDesc>> {
         .collect()
 }
 
+/// Warm `plan` on `dev`, then measure the allocations of one issue pass.
+fn warm_issue_allocs(plan: &ExecPlan, dev: &mut Device) -> u64 {
+    // Warm up: two full replays grow every device-internal Vec past the
+    // per-iteration watermark.
+    plan.replay(dev);
+    plan.replay(dev);
+
+    counting_alloc::start();
+    plan.issue(dev);
+    let issue_allocs = counting_alloc::stop();
+    dev.run();
+    issue_allocs
+}
+
 #[test]
 fn warm_replay_issue_loop_is_sub_per_kernel_allocation() {
     let mut dev = Device::new(DeviceProps::p100());
@@ -74,22 +70,51 @@ fn warm_replay_issue_loop_is_sub_per_kernel_allocation() {
     );
     assert_eq!(plan.num_kernels(), 64);
 
-    // Warm up: two full replays grow every device-internal Vec past the
-    // per-iteration watermark.
-    plan.replay(&mut dev);
-    plan.replay(&mut dev);
-
-    ALLOCS.store(0, Ordering::SeqCst);
-    COUNTING.store(true, Ordering::SeqCst);
-    plan.issue(&mut dev);
-    COUNTING.store(false, Ordering::SeqCst);
-    let issue_allocs = ALLOCS.load(Ordering::SeqCst);
-    dev.run();
-
+    let issue_allocs = warm_issue_allocs(&plan, &mut dev);
     assert!(
         issue_allocs < plan.num_kernels() as u64,
         "warm replay issued {} kernels with {} allocations — \
          the issue loop must be sub-per-kernel",
+        plan.num_kernels(),
+        issue_allocs
+    );
+}
+
+#[test]
+fn telemetry_off_path_keeps_replay_sub_per_kernel() {
+    // Attach a recorder (so spans really record), then detach — the
+    // device must return to the zero-cost off-path: the warm issue loop
+    // stays strictly sub-per-kernel, exactly as if telemetry had never
+    // existed.
+    let mut dev = Device::new(DeviceProps::p100());
+    let pool: Vec<_> = (0..4).map(|_| dev.create_stream()).collect();
+    let g = groups(16, 4);
+    let plan = ExecPlan::capture_round_robin(
+        "alloc-probe-tel",
+        &g,
+        &pool,
+        ExecMode::Concurrent { streams: 4 },
+    );
+
+    let rec = telemetry::shared(telemetry::Telemetry::new());
+    dev.set_telemetry(rec.clone(), 0);
+    plan.replay(&mut dev);
+    dev.clear_telemetry();
+    let recorded = rec
+        .lock()
+        .unwrap_or_else(|poison| poison.into_inner())
+        .spans()
+        .len();
+    assert!(
+        recorded >= plan.num_kernels(),
+        "recorder attached but only {recorded} spans recorded"
+    );
+
+    let issue_allocs = warm_issue_allocs(&plan, &mut dev);
+    assert!(
+        issue_allocs < plan.num_kernels() as u64,
+        "telemetry-off warm replay issued {} kernels with {} allocations — \
+         detaching the recorder must restore the sub-per-kernel issue loop",
         plan.num_kernels(),
         issue_allocs
     );

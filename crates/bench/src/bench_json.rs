@@ -1,0 +1,168 @@
+//! The `reproduce bench-json` harness: machine-readable throughput
+//! numbers for the repo's four headline smoke sweeps.
+//!
+//! This is the **only** reproduction path allowed to read the host's
+//! wall clock: the emitted `BENCH_fleet.json` pairs each sweep's
+//! simulated-event count (deterministic) with the real time the host
+//! took to simulate it, so CI history can track simulator throughput
+//! regressions. Everything printed by the other `reproduce` commands
+//! stays wall-clock free.
+
+use std::time::Instant;
+
+use gpu_sim::DeviceProps;
+use nn::{DispatchMode, ExecCtx, Net};
+
+/// One benchmark entry: a named smoke sweep, how many simulated events
+/// it processed, and the wall time it took.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Sweep name.
+    pub name: &'static str,
+    /// What one event is for this sweep.
+    pub unit: &'static str,
+    /// Simulated events processed (deterministic across runs).
+    pub events: u64,
+    /// Host wall time for the sweep, seconds (varies run to run).
+    pub wall_s: f64,
+}
+
+impl BenchEntry {
+    /// Events simulated per wall-clock second.
+    pub fn events_per_s(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.events as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+fn timed<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// The plan-replay smoke workload: 4 nets x 3 modes, two training
+/// iterations each with plan reuse on. Events are simulated kernels.
+fn replay_events() -> u64 {
+    let modes = [
+        DispatchMode::Naive,
+        DispatchMode::FixedStreams(8),
+        DispatchMode::Glp4nn,
+    ];
+    let mut kernels = 0u64;
+    for net in ["CIFAR10", "Siamese", "CaffeNet", "GoogLeNet"] {
+        for mode in modes {
+            let mut ctx = match mode {
+                DispatchMode::Glp4nn => ExecCtx::glp4nn(DeviceProps::p100()),
+                m => ExecCtx::with_mode(DeviceProps::p100(), m),
+            }
+            .timing_only();
+            let mut net_obj = Net::from_spec(&crate::net_spec_with_batch(net, 4, 1));
+            for _ in 0..2 {
+                crate::iteration_timings(&mut ctx, &mut net_obj);
+            }
+            kernels += ctx.device.trace().len() as u64;
+        }
+    }
+    kernels
+}
+
+/// Run all four smoke sweeps under the wall clock.
+pub fn run_benches() -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+
+    let (kernels, wall_s) = timed(replay_events);
+    entries.push(BenchEntry {
+        name: "replay-smoke",
+        unit: "simulated kernels",
+        events: kernels,
+        wall_s,
+    });
+
+    let (rows, wall_s) = timed(|| crate::multi_gpu::multi_gpu_sweep(true));
+    let images: u64 = rows
+        .iter()
+        .map(|r| (r.batch * r.replicas * 2) as u64) // 2 steps per point
+        .sum();
+    entries.push(BenchEntry {
+        name: "multi-gpu-smoke",
+        unit: "simulated images",
+        events: images,
+        wall_s,
+    });
+
+    let (rows, wall_s) = timed(|| crate::serving::serving_sweep(true));
+    let requests: u64 = rows
+        .iter()
+        .flat_map(|row| row.reports.iter())
+        .map(|(_, r)| (r.completed + r.shed) as u64)
+        .sum();
+    entries.push(BenchEntry {
+        name: "serving-smoke",
+        unit: "simulated requests",
+        events: requests,
+        wall_s,
+    });
+
+    let (rows, wall_s) = timed(|| crate::fleet::fleet_sweep(true));
+    let offered: u64 = rows.iter().map(|r| r.offered as u64).sum();
+    entries.push(BenchEntry {
+        name: "fleet-smoke",
+        unit: "simulated requests",
+        events: offered,
+        wall_s,
+    });
+
+    entries
+}
+
+/// Serialize the entries as the `BENCH_fleet.json` document.
+pub fn to_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"glp4nn-bench/1\",\n  \"benches\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"unit\": \"{}\", \"events\": {}, \
+             \"wall_s\": {:.6}, \"events_per_s\": {:.1}}}{}\n",
+            e.name,
+            e.unit,
+            e.events,
+            e.wall_s,
+            e.events_per_s(),
+            if i + 1 == entries.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_is_wellformed() {
+        let entries = vec![
+            BenchEntry {
+                name: "a",
+                unit: "u",
+                events: 10,
+                wall_s: 2.0,
+            },
+            BenchEntry {
+                name: "b",
+                unit: "u",
+                events: 0,
+                wall_s: 0.0,
+            },
+        ];
+        let json = to_json(&entries);
+        assert!(json.starts_with('{') && json.ends_with("}\n"));
+        assert_eq!(json.matches("\"name\"").count(), 2);
+        assert!(json.contains("\"events_per_s\": 5.0"));
+        // Exactly one comma between the two entries, none trailing.
+        assert_eq!(json.matches("},\n").count(), 1);
+    }
+}

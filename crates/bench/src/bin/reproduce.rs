@@ -20,16 +20,20 @@
 //!   ablation fusion/reordering (§6) and launch-overhead sensitivity
 //!   generations GLP4NN across Fermi→Volta device generations
 //!   serving  inference serving with dynamic batching  [--smoke]
+//!   fleet    multi-replica serving fleet: routing x fabric x priority mix  [--smoke]
 //!   sanitize stream-schedule sanitizer over 4 nets x 3 dispatch modes  [--smoke]
 //!   multi-gpu data-parallel scaling: replicas x interconnect x overlap  [--smoke]
 //!   trace    Chrome-trace export: 4 nets x 3 modes + multi-GPU overlap  [--smoke]
-//!   all      everything above
+//!   bench-json  write BENCH_fleet.json (events/s + wall time, 4 smoke sweeps)
+//!   all      everything above (except bench-json, which reads the wall clock)
 //! ```
 //!
 //! Timing numbers are **simulated device time**; `T_p`/`T_a` are real
 //! measured wall times of the profiler and MILP solver. See DESIGN.md and
 //! EXPERIMENTS.md.
 
+use glp4nn_bench::bench_json;
+use glp4nn_bench::fleet as fleet_bench;
 use glp4nn_bench::multi_gpu;
 use glp4nn_bench::serving;
 use glp4nn_bench::*;
@@ -573,6 +577,96 @@ fn serving(smoke: bool) {
     );
 }
 
+fn fleet_cmd(smoke: bool) {
+    let rows = fleet_bench::fleet_sweep(smoke);
+    fleet_bench::print_fleet_table(&rows, smoke);
+    assert!(
+        fleet_bench::jsq_matches_or_beats_rr(&rows),
+        "JSQ fell below round-robin on SLO attainment at some sweep point"
+    );
+    if smoke {
+        assert_eq!(
+            fleet_bench::total_sanitizer_reports(&rows),
+            0,
+            "sanitizer reported diagnostics on the sanitized fleet smoke sweep"
+        );
+    }
+    println!();
+    let demo = fleet_bench::autoscale_demo(smoke);
+    fleet_bench::print_autoscale_demo(&demo);
+    assert!(
+        demo.scale_ups >= 1 && demo.scale_downs >= 1,
+        "autoscaler demo must scale up under the burst and down through the trickle"
+    );
+
+    // A smoke-sized traced run: every replica records kernel spans under
+    // its own trace pid, the fleet adds wave spans and control instants.
+    // Written next to the other telemetry exports so the validate-trace
+    // round-trip in CI covers it.
+    let dir = std::path::Path::new("target/telemetry");
+    std::fs::create_dir_all(dir).unwrap_or_else(|e| panic!("create {}: {e}", dir.display()));
+    let mut cfg = fleet_bench::cell_config(
+        ::fleet::fabric_uniform8(),
+        ::fleet::RouterPolicy::JoinShortestQueue,
+        ::fleet::PriorityMix::premium_heavy(),
+        true,
+    );
+    cfg.num_requests = 400;
+    let mut sim = ::fleet::FleetSim::new(cfg).unwrap_or_else(|e| panic!("{e}"));
+    let rec = telemetry::shared(telemetry::Telemetry::new());
+    sim.set_telemetry(rec.clone());
+    let traced = sim.run();
+    {
+        let mut guard = rec.lock().unwrap_or_else(|p| p.into_inner());
+        sim.annotate_telemetry(&mut guard);
+    }
+    drop(sim);
+    let t = std::sync::Arc::try_unwrap(rec)
+        .unwrap_or_else(|_| panic!("telemetry handle still shared after fleet run"))
+        .into_inner()
+        .unwrap_or_else(|poison| poison.into_inner());
+    let json = t.chrome_trace();
+    let summary = telemetry::validate_chrome_trace(&json)
+        .unwrap_or_else(|e| panic!("fleet trace failed validation: {e}"));
+    let path = dir.join("fleet_jsq.trace.json");
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!();
+    println!(
+        "traced fleet run (400 requests, JSQ, sanitized): {} spans across {} tracks, {} -> {}",
+        summary.spans,
+        summary.tracks,
+        traced.completed,
+        path.display()
+    );
+    println!("\nfleet: JSQ >= round-robin SLO attainment at every sweep point; autoscaler");
+    println!("scaled both directions; sanitized replicas + cross-device check stayed clean");
+}
+
+fn bench_json_cmd() {
+    let entries = bench_json::run_benches();
+    let json = bench_json::to_json(&entries);
+    let path = std::path::Path::new("BENCH_fleet.json");
+    std::fs::write(path, &json).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("== bench-json: simulator throughput over the four smoke sweeps ==");
+    println!("(events are simulated work items; wall time is the host clock — this file");
+    println!(" is the only reproduction output allowed to contain wall-clock numbers)");
+    println!(
+        "{:<16} {:<20} {:>12} {:>10} {:>14}",
+        "sweep", "unit", "events", "wall (s)", "events/s"
+    );
+    for e in &entries {
+        println!(
+            "{:<16} {:<20} {:>12} {:>10.3} {:>14.1}",
+            e.name,
+            e.unit,
+            e.events,
+            e.wall_s,
+            e.events_per_s()
+        );
+    }
+    println!("wrote {}", path.display());
+}
+
 fn sanitize(smoke: bool) {
     println!("== Sanitize: plan validation + happens-before replay, 4 nets x 3 dispatch modes ==");
     println!("(two training iterations each so GLP4NN reaches concurrent steady state)");
@@ -820,6 +914,8 @@ fn main() {
         "ablation" => ablation(),
         "generations" => generations(),
         "serving" => serving(smoke),
+        "fleet" => fleet_cmd(smoke),
+        "bench-json" => bench_json_cmd(),
         "sanitize" => sanitize(smoke),
         "replay" => replay(smoke),
         "multi-gpu" => multi_gpu_cmd(smoke),
@@ -857,6 +953,8 @@ fn main() {
             println!();
             serving(smoke);
             println!();
+            fleet_cmd(smoke);
+            println!();
             sanitize(smoke);
             println!();
             replay(smoke);
@@ -867,7 +965,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|sanitize|replay|multi-gpu|trace|all> [--iters N] [--smoke]"
+                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|fleet|bench-json|sanitize|replay|multi-gpu|trace|all> [--iters N] [--smoke]"
             );
             std::process::exit(2);
         }

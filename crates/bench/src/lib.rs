@@ -5,6 +5,8 @@
 //! simulated device ([`gpu_sim`]), while `T_p`/`T_a` overheads are real
 //! measured wall times of our profiler and MILP solver.
 
+pub mod bench_json;
+pub mod fleet;
 pub mod multi_gpu;
 pub mod serving;
 pub mod trace;

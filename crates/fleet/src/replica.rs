@@ -1,0 +1,65 @@
+//! One serving replica: an engine on a fabric slot plus its admission
+//! queue and lifecycle state.
+
+use gpu_sim::SimTime;
+use serve::{ClassQueue, ClassedRequest, ServingEngine};
+
+/// A replica's place in the fleet: its engine (one simulated device),
+/// class-aware admission queue, and the event-loop state the fleet
+/// scheduler drives.
+pub struct Replica {
+    /// Fabric slot index (also the device model index and trace pid
+    /// offset).
+    pub slot: usize,
+    /// The serving engine (owns the simulated device).
+    pub engine: ServingEngine,
+    /// Class-aware admission queue.
+    pub queue: ClassQueue,
+    /// The wave currently executing on the device (empty while warming).
+    pub inflight: Vec<ClassedRequest>,
+    /// Whether the engine is executing a wave (or warming up).
+    pub busy: bool,
+    /// When the current wave (or warmup) completes; meaningful while
+    /// [`busy`](Replica::busy).
+    pub busy_until: SimTime,
+    /// Pending delay-trigger wakeup for an idle replica with queued work.
+    pub wake_at: Option<SimTime>,
+    /// Whether the router may send new requests here. Inactive replicas
+    /// still drain their queue.
+    pub active: bool,
+    /// Scale-down in progress: finish queued work, then sit idle.
+    pub draining: bool,
+    /// Waves dispatched.
+    pub waves: usize,
+    /// Requests served to completion.
+    pub served: usize,
+    /// Simulated time spent in warmup (plan capture), charged at spawn.
+    pub warmup_ns: SimTime,
+}
+
+impl Replica {
+    /// Queued plus inflight requests — the load number the router sees
+    /// through the gauges.
+    pub fn load(&self) -> usize {
+        self.queue.len() + self.inflight.len()
+    }
+
+    /// Whether this replica holds no work at all.
+    pub fn is_quiescent(&self) -> bool {
+        !self.busy && self.queue.is_empty() && self.inflight.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("slot", &self.slot)
+            .field("queued", &self.queue.len())
+            .field("inflight", &self.inflight.len())
+            .field("busy", &self.busy)
+            .field("active", &self.active)
+            .field("waves", &self.waves)
+            .field("served", &self.served)
+            .finish()
+    }
+}

@@ -1,0 +1,186 @@
+//! Request routing across replicas.
+//!
+//! All policies read replica load from the *live gauges* the fleet
+//! publishes into its [`telemetry::MetricsRegistry`]
+//! (`fleet.replica.{slot}.queue_depth` / `.inflight`) rather than from
+//! private simulator state — the same numbers an operator's dashboard
+//! would show, so the router can never act on information the telemetry
+//! layer doesn't export.
+
+use telemetry::MetricsRegistry;
+
+/// Pluggable routing policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouterPolicy {
+    /// Cycle through active replicas in slot order, load-blind.
+    RoundRobin,
+    /// Send to the replica with the fewest queued + inflight requests
+    /// (ties to the lowest slot index).
+    JoinShortestQueue,
+    /// Join-shortest-*weighted*-queue: load is divided by the slot's
+    /// relative peak-FLOPs capacity, so a Titan XP absorbs
+    /// proportionally more than a K40C on a heterogeneous fabric.
+    Weighted,
+}
+
+impl RouterPolicy {
+    /// Short name used in report tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RouterPolicy::RoundRobin => "rr",
+            RouterPolicy::JoinShortestQueue => "jsq",
+            RouterPolicy::Weighted => "weighted",
+        }
+    }
+
+    /// All policies, in report order.
+    pub fn all() -> [RouterPolicy; 3] {
+        [
+            RouterPolicy::RoundRobin,
+            RouterPolicy::JoinShortestQueue,
+            RouterPolicy::Weighted,
+        ]
+    }
+}
+
+/// The gauge name carrying replica `slot`'s queue depth.
+pub fn queue_depth_gauge(slot: usize) -> String {
+    format!("fleet.replica.{slot}.queue_depth")
+}
+
+/// The gauge name carrying replica `slot`'s inflight wave size.
+pub fn inflight_gauge(slot: usize) -> String {
+    format!("fleet.replica.{slot}.inflight")
+}
+
+/// A router instance (owns the round-robin cursor and a per-slot gauge
+/// name cache — gauge lookups happen once per arrival per replica, so
+/// re-formatting the names each time would dominate the loop).
+#[derive(Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    rr_next: usize,
+    gauge_names: Vec<(String, String)>,
+}
+
+impl Router {
+    /// A router with the given policy.
+    pub fn new(policy: RouterPolicy) -> Self {
+        Router {
+            policy,
+            rr_next: 0,
+            gauge_names: Vec::new(),
+        }
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    fn ensure_names(&mut self, slot: usize) {
+        while self.gauge_names.len() <= slot {
+            let s = self.gauge_names.len();
+            self.gauge_names
+                .push((queue_depth_gauge(s), inflight_gauge(s)));
+        }
+    }
+
+    /// Replica `slot`'s queued + inflight load according to the gauges.
+    fn load(&self, metrics: &MetricsRegistry, slot: usize) -> f64 {
+        let (depth, inflight) = &self.gauge_names[slot];
+        metrics.gauge(depth).unwrap_or(0.0) + metrics.gauge(inflight).unwrap_or(0.0)
+    }
+
+    /// Pick a replica among `active` slots.
+    ///
+    /// `weights[slot]` is the slot's relative capacity (peak FLOPs,
+    /// normalized or not — only ratios matter) and `metrics` holds the
+    /// live load gauges. Deterministic: ties break to the earliest slot
+    /// in `active`.
+    ///
+    /// # Panics
+    /// Panics if `active` is empty.
+    pub fn route(&mut self, active: &[usize], metrics: &MetricsRegistry, weights: &[f64]) -> usize {
+        assert!(!active.is_empty(), "routing with no active replicas");
+        if let Some(&max_slot) = active.iter().max() {
+            self.ensure_names(max_slot);
+        }
+        match self.policy {
+            RouterPolicy::RoundRobin => {
+                let slot = active[self.rr_next % active.len()];
+                self.rr_next = self.rr_next.wrapping_add(1);
+                slot
+            }
+            RouterPolicy::JoinShortestQueue => pick_min(active, |slot| self.load(metrics, slot)),
+            RouterPolicy::Weighted => pick_min(active, |slot| {
+                // +1 so an empty fast device still beats an empty slow
+                // one instead of tying at zero.
+                (self.load(metrics, slot) + 1.0) / weights[slot].max(f64::MIN_POSITIVE)
+            }),
+        }
+    }
+}
+
+/// The slot minimizing `score`, first-wins on ties (stable because
+/// `active` is iterated in order).
+fn pick_min(active: &[usize], score: impl Fn(usize) -> f64) -> usize {
+    let mut best = active[0];
+    let mut best_score = score(best);
+    for &slot in &active[1..] {
+        let s = score(slot);
+        if s < best_score {
+            best = slot;
+            best_score = s;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics_with_loads(loads: &[(usize, f64, f64)]) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        for &(slot, depth, inflight) in loads {
+            m.gauge_set(&queue_depth_gauge(slot), depth);
+            m.gauge_set(&inflight_gauge(slot), inflight);
+        }
+        m
+    }
+
+    #[test]
+    fn round_robin_cycles_active_slots() {
+        let mut r = Router::new(RouterPolicy::RoundRobin);
+        let m = MetricsRegistry::new();
+        let w = [1.0; 4];
+        let picks: Vec<usize> = (0..6).map(|_| r.route(&[0, 2, 3], &m, &w)).collect();
+        assert_eq!(picks, [0, 2, 3, 0, 2, 3]);
+    }
+
+    #[test]
+    fn jsq_reads_live_gauges_and_breaks_ties_low() {
+        let mut r = Router::new(RouterPolicy::JoinShortestQueue);
+        let m = metrics_with_loads(&[(0, 5.0, 8.0), (1, 2.0, 8.0), (2, 2.0, 8.0)]);
+        // Slots 1 and 2 tie on load 10; the earlier slot wins.
+        assert_eq!(r.route(&[0, 1, 2], &m, &[1.0; 3]), 1);
+        // A missing gauge reads as zero load.
+        assert_eq!(r.route(&[0, 1, 7], &m, &[1.0; 8]), 7);
+    }
+
+    #[test]
+    fn weighted_prefers_faster_devices_at_equal_load() {
+        let mut r = Router::new(RouterPolicy::Weighted);
+        let m = metrics_with_loads(&[(0, 4.0, 0.0), (1, 4.0, 0.0)]);
+        // Same load, slot 1 twice the capacity: route there.
+        assert_eq!(r.route(&[0, 1], &m, &[1.0, 2.0]), 1);
+        // Even empty, a faster device wins the tie on score (0+1)/w.
+        let empty = MetricsRegistry::new();
+        assert_eq!(r.route(&[0, 1], &empty, &[1.0, 2.0]), 1);
+        // But enough load flips it back: (9+1)/2 > (4+1)/1? 5 == 5 →
+        // first-wins tie; one more request breaks it.
+        let m2 = metrics_with_loads(&[(0, 4.0, 0.0), (1, 10.0, 0.0)]);
+        assert_eq!(r.route(&[0, 1], &m2, &[1.0, 2.0]), 0);
+    }
+}

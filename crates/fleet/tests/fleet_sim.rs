@@ -1,0 +1,170 @@
+//! End-to-end fleet tests: determinism, request conservation, routing
+//! policy behaviour, telemetry layout, and sanitized runs.
+
+use fleet::{
+    fabric_hetero12, fabric_uniform8, replica_pid, AutoscaleConfig, FleetConfig, FleetSim,
+    LoadPhase, PriorityMix, RouterPolicy,
+};
+use sanitizer::SanitizeMode;
+use telemetry::FLEET_PID;
+
+fn small_cfg(router: RouterPolicy) -> FleetConfig {
+    let mut cfg = FleetConfig::cifar10(fabric_uniform8(), router, PriorityMix::premium_heavy());
+    cfg.rate_rps = 60_000.0;
+    cfg.num_requests = 3_000;
+    cfg
+}
+
+#[test]
+fn two_runs_are_identical() {
+    let run = || {
+        FleetSim::new(small_cfg(RouterPolicy::JoinShortestQueue))
+            .unwrap()
+            .run()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+    assert_eq!(a.offered, 3_000);
+    assert_eq!(a.completed + a.shed + a.expired, a.offered);
+}
+
+#[test]
+fn all_policies_complete_the_trace_under_capacity() {
+    for policy in RouterPolicy::all() {
+        let r = FleetSim::new(small_cfg(policy)).unwrap().run();
+        assert_eq!(r.offered, 3_000, "{}", policy.name());
+        // 60k r/s on an 8x P100 fleet is well under saturation: nothing
+        // should shed and every deadline class should attain its SLO.
+        assert_eq!(r.shed + r.expired, 0, "{}", policy.name());
+        assert!(r.slo_attainment == 1.0, "{}", policy.name());
+        assert!(r.throughput_rps > 0.0 && r.makespan_ns > 0);
+        assert!(r.mean_wave >= 1.0 && r.mean_wave <= 8.0);
+    }
+}
+
+#[test]
+fn heterogeneous_overload_separates_jsq_from_rr() {
+    let run = |policy| {
+        let mut cfg = FleetConfig::cifar10(fabric_hetero12(), policy, PriorityMix::premium_heavy());
+        cfg.rate_rps = 160_000.0;
+        cfg.num_requests = 20_000;
+        FleetSim::new(cfg).unwrap().run()
+    };
+    let rr = run(RouterPolicy::RoundRobin);
+    let jsq = run(RouterPolicy::JoinShortestQueue);
+    // Past the K40Cs' share of capacity, load-blind round-robin must
+    // shed/expire more and attain less than queue-aware routing.
+    assert!(jsq.slo_attainment >= rr.slo_attainment);
+    assert!(jsq.slo_attainment > 0.9 && rr.slo_attainment < 1.0);
+    assert!(jsq.completed > rr.completed);
+}
+
+#[test]
+fn sanitized_run_is_clean_and_cross_checked() {
+    let mut cfg = small_cfg(RouterPolicy::Weighted);
+    cfg.num_requests = 500;
+    cfg.engine.sanitize = Some(SanitizeMode::Full);
+    let r = FleetSim::new(cfg).unwrap().run();
+    assert_eq!(r.sanitizer_reports, 0);
+    assert_eq!(r.completed + r.shed + r.expired, 500);
+}
+
+#[test]
+fn autoscaler_scales_up_then_down_and_charges_warmup() {
+    let mut cfg = small_cfg(RouterPolicy::JoinShortestQueue);
+    cfg.autoscale = Some(AutoscaleConfig::new(2, 8));
+    cfg.load_phases = Some(vec![
+        LoadPhase {
+            num_requests: 4_000,
+            rate_rps: 60_000.0,
+        },
+        LoadPhase {
+            num_requests: 1_500,
+            rate_rps: 3_000.0,
+        },
+    ]);
+    let r = FleetSim::new(cfg).unwrap().run();
+    assert!(r.scale_ups >= 1, "burst must add replicas");
+    assert!(r.scale_downs >= 1, "trickle must retire replicas");
+    assert!(r.warmup_total_ns > 0, "fresh spawns pay plan capture");
+    assert!(r.peak_replicas > 2 && r.peak_replicas <= 8);
+    assert_eq!(r.replicas, 2, "starts at the autoscale floor");
+    assert_eq!(r.completed + r.shed + r.expired, r.offered);
+}
+
+#[test]
+fn telemetry_uses_one_pid_per_replica() {
+    let mut cfg = small_cfg(RouterPolicy::RoundRobin);
+    cfg.num_requests = 200;
+    let mut sim = FleetSim::new(cfg).unwrap();
+    let rec = telemetry::shared(telemetry::Telemetry::new());
+    sim.set_telemetry(rec.clone());
+    let report = sim.run();
+    {
+        let mut guard = rec.lock().unwrap();
+        sim.annotate_telemetry(&mut guard);
+    }
+    drop(sim);
+    let t = std::sync::Arc::try_unwrap(rec)
+        .unwrap()
+        .into_inner()
+        .unwrap();
+    // Every replica contributed spans under its own pid, and fleet wave
+    // spans live there too (device kernels at tid 0 of the same pid).
+    let pids: std::collections::BTreeSet<u32> = t.spans().iter().map(|s| s.pid).collect();
+    for slot in 0..8 {
+        assert!(
+            pids.contains(&replica_pid(slot)),
+            "replica {slot} missing from trace"
+        );
+        assert!(replica_pid(slot) > FLEET_PID);
+    }
+    let waves = t
+        .spans()
+        .iter()
+        .filter(|s| s.name.starts_with("wave x"))
+        .count();
+    assert!(waves > 0 && waves <= report.waves);
+    // The export round-trips through the Chrome-trace validator.
+    let json = t.chrome_trace();
+    telemetry::validate_chrome_trace(&json).expect("fleet trace must validate");
+}
+
+#[test]
+fn brownout_sheds_besteffort_to_protect_tight_deadlines() {
+    // A deadline barely above one wave's service time: under load the
+    // premium lane's windowed p99 blows past it, so the brownout
+    // controller must drop the best-effort lane at a tick boundary.
+    let mix = fleet::PriorityMix::new(
+        "tight",
+        vec![
+            fleet::ClassSpec {
+                name: "premium".into(),
+                share: 0.5,
+                deadline_ns: 2_000_000,
+            },
+            fleet::ClassSpec {
+                name: "besteffort".into(),
+                share: 0.5,
+                deadline_ns: gpu_sim::SimTime::MAX,
+            },
+        ],
+    );
+    let mut cfg = FleetConfig::cifar10(fabric_uniform8(), RouterPolicy::JoinShortestQueue, mix);
+    cfg.autoscale = Some(AutoscaleConfig::new(2, 2));
+    cfg.rate_rps = 30_000.0;
+    cfg.num_requests = 8_000;
+    let r = FleetSim::new(cfg).unwrap().run();
+    assert!(r.brownout_sheds > 0, "brownout controller must engage");
+    // Every brownout shed hits the best-effort lane, never premium.
+    assert_eq!(
+        r.per_class[0].shed + r.per_class[0].expired + r.per_class[0].completed,
+        r.per_class[0].offered
+    );
+    assert!(
+        r.per_class[1].shed >= r.brownout_sheds,
+        "brownout sheds land on the best-effort class"
+    );
+    assert_eq!(r.completed + r.shed + r.expired, r.offered);
+}

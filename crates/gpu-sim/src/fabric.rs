@@ -30,6 +30,7 @@
 //! execution context owns its `Device`) and lend `&mut [&mut Device]` per
 //! call, indexed by the device's position in the slice.
 
+use crate::device::DeviceProps;
 use crate::engine::Device;
 use crate::kernel::{KernelDesc, KernelId, LaunchConfig, MemAccess};
 use crate::stats::DeviceStats;
@@ -206,6 +207,102 @@ struct CopyRecord {
     start: Option<SimTime>,
     /// Transfer end, set by [`Fabric::run`].
     end: Option<SimTime>,
+}
+
+/// How the slots of a [`FabricSpec`] are wired together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricTopology {
+    /// Every ordered pair of slots joined by the spec's link.
+    FullyConnected,
+    /// Slot `i` linked bidirectionally to `(i + 1) % n`.
+    Ring,
+}
+
+/// A declarative placement plan for a fabric: which device model occupies
+/// each slot and how the slots are linked.
+///
+/// The [`Fabric`] itself deliberately does not own devices, so anything
+/// that wants to *stand up* a multi-device deployment (the serving fleet,
+/// the data-parallel trainer, a benchmark sweep) needs a description it
+/// can instantiate devices and fabric from together, keeping slot indices
+/// consistent between the two. That is this type: a named, possibly
+/// heterogeneous list of [`DeviceProps`] plus a link model and topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricSpec {
+    /// Name shown in reports (e.g. `uniform8-nvlink`).
+    pub name: String,
+    /// Device model per fabric slot, in slot order.
+    pub slots: Vec<DeviceProps>,
+    /// Link model joining the slots.
+    pub link: LinkProps,
+    /// Wiring between slots.
+    pub topology: FabricTopology,
+}
+
+impl FabricSpec {
+    /// A homogeneous fully-connected spec: `n` slots of the same model.
+    ///
+    /// # Panics
+    /// Panics if `n` is zero.
+    pub fn uniform(name: &str, n: usize, props: DeviceProps, link: LinkProps) -> Self {
+        assert!(n > 0, "a fabric spec needs at least one slot");
+        FabricSpec {
+            name: name.to_string(),
+            slots: vec![props; n],
+            link,
+            topology: FabricTopology::FullyConnected,
+        }
+    }
+
+    /// A heterogeneous fully-connected spec with explicit per-slot models.
+    ///
+    /// # Panics
+    /// Panics if `slots` is empty.
+    pub fn heterogeneous(name: &str, slots: Vec<DeviceProps>, link: LinkProps) -> Self {
+        assert!(!slots.is_empty(), "a fabric spec needs at least one slot");
+        FabricSpec {
+            name: name.to_string(),
+            slots,
+            link,
+            topology: FabricTopology::FullyConnected,
+        }
+    }
+
+    /// The same spec with a different topology.
+    pub fn with_topology(mut self, topology: FabricTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Number of device slots.
+    pub fn num_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The device model in slot `i`.
+    pub fn slot(&self, i: usize) -> &DeviceProps {
+        &self.slots[i]
+    }
+
+    /// Peak single-precision FLOP/s of slot `i`'s model — the capacity
+    /// weight a heterogeneity-aware router uses.
+    pub fn slot_peak_flops(&self, i: usize) -> f64 {
+        self.slots[i].device_peak_flops()
+    }
+
+    /// Instantiate the link structure described by this spec.
+    pub fn build_fabric(&self) -> Fabric {
+        let n = self.slots.len();
+        match self.topology {
+            FabricTopology::FullyConnected => Fabric::fully_connected(n, self.link),
+            FabricTopology::Ring => Fabric::ring(n, self.link),
+        }
+    }
+
+    /// Instantiate one fresh [`Device`] per slot, in slot order.
+    pub fn spawn_devices(&self) -> Vec<Device> {
+        self.slots.iter().cloned().map(Device::new).collect()
+    }
 }
 
 /// A fabric of N devices and the links between them.
@@ -814,6 +911,45 @@ mod tests {
         let stats = fab.stats(&views);
         assert_eq!(stats.len(), 2);
         assert_eq!(stats[0].kernels_completed, 1);
+    }
+
+    #[test]
+    fn fabric_spec_builds_matching_devices_and_links() {
+        let spec = FabricSpec::uniform("u4", 4, DeviceProps::p100(), LinkProps::nvlink());
+        assert_eq!(spec.num_slots(), 4);
+        let devs = spec.spawn_devices();
+        assert_eq!(devs.len(), 4);
+        let fab = spec.build_fabric();
+        assert_eq!(fab.num_devices(), 4);
+        // Fully connected: every ordered pair linked.
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(fab.link(a, b).is_some(), a != b, "link {a}->{b}");
+            }
+        }
+
+        let hetero = FabricSpec::heterogeneous(
+            "h3",
+            vec![
+                DeviceProps::k40c(),
+                DeviceProps::p100(),
+                DeviceProps::titan_xp(),
+            ],
+            LinkProps::pcie3(),
+        )
+        .with_topology(FabricTopology::Ring);
+        assert_eq!(hetero.slot(0).name, DeviceProps::k40c().name);
+        assert!(hetero.slot_peak_flops(1) > hetero.slot_peak_flops(0));
+        let ring = hetero.build_fabric();
+        assert!(ring.link(0, 1).is_some());
+        assert!(ring.link(1, 2).is_some());
+        assert!(ring.link(2, 0).is_some());
+        // Ring of 3 happens to be fully connected; a ring of 4 is not.
+        let ring4 = FabricSpec::uniform("r4", 4, DeviceProps::p100(), LinkProps::nvlink())
+            .with_topology(FabricTopology::Ring)
+            .build_fabric();
+        assert!(ring4.link(0, 1).is_some());
+        assert!(ring4.link(0, 2).is_none());
     }
 
     #[test]

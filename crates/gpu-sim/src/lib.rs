@@ -58,7 +58,7 @@ pub mod timeline;
 
 pub use device::{Arch, ArchFeatures, DeviceProps};
 pub use engine::{Device, LaunchHook};
-pub use fabric::{CopyDesc, Fabric, FabricError, LinkProps};
+pub use fabric::{CopyDesc, Fabric, FabricError, FabricSpec, FabricTopology, LinkProps};
 pub use kernel::{
     AccessConflict, AccessSet, BufferId, ByteRange, Dim3, KernelCost, KernelDesc, KernelId,
     LaunchConfig, MemAccess,

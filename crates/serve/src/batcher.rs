@@ -28,15 +28,41 @@ impl BatchPolicy {
 
     /// Decide what to do at simulated time `now` given the current queue.
     pub fn decide(&self, now: SimTime, queue: &BoundedQueue) -> BatchDecision {
-        let Some(head) = queue.head() else {
+        let oldest = queue.head().map(|r| r.arrival_ns);
+        self.decide_continuous(now, queue.len(), oldest, false)
+    }
+
+    /// The continuous-batching decision: admission is incremental, so the
+    /// policy sees only the queue's aggregate state, and `just_drained`
+    /// marks the instant a wave completed on the engine.
+    ///
+    /// Waves still close on the size trigger (`max_batch` waiting) or the
+    /// delay trigger (oldest request waited `max_delay_ns`) — but at a
+    /// wave boundary the policy is *work-conserving*: requests that
+    /// arrived while the previous wave executed form the next wave
+    /// immediately, whatever their count, instead of waiting out the
+    /// delay timer behind an idle engine. That is what "admit into the
+    /// next wave instead of draining the batch" buys: an engine under
+    /// load never sits idle while work is queued.
+    pub fn decide_continuous(
+        &self,
+        now: SimTime,
+        queued: usize,
+        oldest_arrival_ns: Option<SimTime>,
+        just_drained: bool,
+    ) -> BatchDecision {
+        let Some(oldest) = oldest_arrival_ns else {
             return BatchDecision::Idle;
         };
-        if queue.len() >= self.max_batch {
+        if queued >= self.max_batch {
             return BatchDecision::Fire(self.max_batch);
         }
-        let deadline = head.arrival_ns + self.max_delay_ns;
+        if just_drained {
+            return BatchDecision::Fire(queued);
+        }
+        let deadline = oldest + self.max_delay_ns;
         if now >= deadline {
-            BatchDecision::Fire(queue.len())
+            BatchDecision::Fire(queued)
         } else {
             BatchDecision::WaitUntil(deadline)
         }
@@ -103,5 +129,41 @@ mod tests {
         let p = BatchPolicy::new(8, 0);
         let q = queue_with(&[42]);
         assert_eq!(p.decide(42, &q), BatchDecision::Fire(1));
+    }
+
+    #[test]
+    fn continuous_is_work_conserving_at_wave_boundaries() {
+        let p = BatchPolicy::new(8, 1_000_000);
+        // Mid-wave arrivals (3 queued, far from both triggers): an idle
+        // engine would wait for the delay deadline...
+        assert_eq!(
+            p.decide_continuous(500, 3, Some(100), false),
+            BatchDecision::WaitUntil(1_000_100)
+        );
+        // ...but at the instant a wave drains, they fire immediately.
+        assert_eq!(
+            p.decide_continuous(500, 3, Some(100), true),
+            BatchDecision::Fire(3)
+        );
+        // The size trigger still caps the wave.
+        assert_eq!(
+            p.decide_continuous(500, 11, Some(100), true),
+            BatchDecision::Fire(8)
+        );
+        // And an empty queue is idle even at a wave boundary.
+        assert_eq!(p.decide_continuous(500, 0, None, true), BatchDecision::Idle);
+    }
+
+    #[test]
+    fn continuous_matches_batch_decide_when_not_draining() {
+        let p = BatchPolicy::new(4, 1_000);
+        let q = queue_with(&[100, 200]);
+        for now in [100, 500, 1_100, 5_000] {
+            assert_eq!(
+                p.decide(now, &q),
+                p.decide_continuous(now, q.len(), q.head().map(|r| r.arrival_ns), false),
+                "at t={now}"
+            );
+        }
     }
 }

@@ -7,9 +7,10 @@ use crate::config::ServeConfig;
 use crate::metrics::{throughput_rps, LatencyStats};
 use crate::queue::BoundedQueue;
 use crate::request::{fill_sample, Completion};
-use gpu_sim::SimTime;
+use gpu_sim::{Device, SimTime};
 use nn::models::{spec_by_name, UnknownModelError};
 use nn::{DispatchMode, ExecCtx, Net, NetSpec};
+use sanitizer::{SanitizeMode, Sanitizer};
 
 /// Summary of one serving run. All times come off the simulated device
 /// clock, so two runs of the same [`ServeConfig`] are identical.
@@ -48,18 +49,49 @@ pub struct ServingEngine {
     telemetry: telemetry::RecorderSlot,
 }
 
+/// Construction options beyond the [`ServeConfig`]: fleet replicas run
+/// timing-only (latency/throughput studies don't need the real CPU math)
+/// and optionally under the schedule sanitizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineOptions {
+    /// Skip layer arithmetic; simulate kernel timing only.
+    pub timing_only: bool,
+    /// Attach the schedule sanitizer in this mode.
+    pub sanitize: Option<SanitizeMode>,
+}
+
+/// Timing of one dispatched wave (see [`ServingEngine::run_wave`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaveTiming {
+    /// When the wave's forward started on the device (ns).
+    pub start_ns: SimTime,
+    /// When the wave completed (ns).
+    pub done_ns: SimTime,
+}
+
 impl ServingEngine {
     /// Build the engine for a configuration (device, mode, model, seed).
     pub fn new(config: &ServeConfig) -> Result<Self, UnknownModelError> {
+        Self::new_with(config, EngineOptions::default())
+    }
+
+    /// Build the engine with explicit [`EngineOptions`].
+    pub fn new_with(config: &ServeConfig, opts: EngineOptions) -> Result<Self, UnknownModelError> {
         let spec = spec_by_name(&config.model, config.policy.max_batch, config.seed)?.inference();
         let output_blob = spec
             .final_top()
             .expect("inference spec has no layers")
             .to_string();
-        let ctx = match config.mode {
+        let mut ctx = match config.mode {
             DispatchMode::Glp4nn => ExecCtx::glp4nn(config.device.clone()),
             mode => ExecCtx::with_mode(config.device.clone(), mode),
         };
+        if opts.timing_only {
+            ctx = ctx.timing_only();
+        }
+        if let Some(mode) = opts.sanitize {
+            ctx = ctx.sanitize(mode);
+        }
         Ok(ServingEngine {
             net: Net::from_spec(&spec),
             ctx,
@@ -73,7 +105,14 @@ impl ServingEngine {
     /// under pid 0, and the serving loop records request/batch lifecycle
     /// spans under [`telemetry::SERVE_PID`]. Observation only.
     pub fn set_telemetry(&mut self, rec: telemetry::SharedRecorder) {
-        self.ctx.set_telemetry(std::sync::Arc::clone(&rec), 0);
+        self.set_telemetry_as(rec, 0);
+    }
+
+    /// Like [`set_telemetry`](Self::set_telemetry) with an explicit
+    /// Chrome-trace process id for the device — the fleet gives every
+    /// replica its own pid so traces render one process per replica.
+    pub fn set_telemetry_as(&mut self, rec: telemetry::SharedRecorder, pid: u32) {
+        self.ctx.set_telemetry(std::sync::Arc::clone(&rec), pid);
         self.telemetry.attach(rec);
     }
 
@@ -163,6 +202,38 @@ impl ServingEngine {
     /// The inference spec the engine serves.
     pub fn spec(&self) -> &NetSpec {
         &self.spec
+    }
+
+    /// The incremental admission path: dispatch one wave of requests no
+    /// earlier than `not_before` (a fleet event loop's global clock) and
+    /// return its device-time span. The caller owns queueing — this is
+    /// the half of continuous batching that belongs to the engine:
+    /// accept whatever the admission queue closed into the wave, replay
+    /// the warm plan for that batch size, and report exactly when the
+    /// engine becomes free for the next wave.
+    ///
+    /// # Panics
+    /// Panics on an empty wave.
+    pub fn run_wave(&mut self, ids: &[u64], not_before: SimTime) -> WaveTiming {
+        self.ctx.device.advance_to(not_before);
+        let start_ns = self.now();
+        let _ = self.forward_batch(ids);
+        WaveTiming {
+            start_ns,
+            done_ns: self.now(),
+        }
+    }
+
+    /// The simulated device this engine serves on (for fleet-level
+    /// stats, merged timelines and cross-device sanitizing).
+    pub fn device(&self) -> &Device {
+        &self.ctx.device
+    }
+
+    /// The schedule sanitizer attached via [`EngineOptions::sanitize`]
+    /// (its diagnostics accumulate during dispatch).
+    pub fn sanitizer(&self) -> &Sanitizer {
+        &self.ctx.sanitizer
     }
 }
 

@@ -51,10 +51,10 @@ pub mod metrics;
 pub mod queue;
 pub mod request;
 
-pub use arrivals::PoissonArrivals;
+pub use arrivals::{summarize, ArrivalSummary, PoissonArrivals};
 pub use batcher::{BatchDecision, BatchPolicy};
 pub use config::ServeConfig;
-pub use engine::{run_serving, ServingEngine, ServingReport};
+pub use engine::{run_serving, EngineOptions, ServingEngine, ServingReport, WaveTiming};
 pub use metrics::LatencyStats;
-pub use queue::BoundedQueue;
+pub use queue::{Admission, BoundedQueue, ClassQueue, ClassedRequest};
 pub use request::{fill_sample, Completion, Request};

@@ -1,0 +1,199 @@
+//! `ClassQueue` under continuous admission: interleaved admits, wave
+//! pops, and deadline expiry — the access pattern the fleet event loop
+//! drives. Includes the conservation property: no admitted request is
+//! ever lost or double-executed.
+
+use proptest::prelude::*;
+use serve::{Admission, ClassQueue, ClassedRequest};
+use std::collections::BTreeSet;
+
+fn creq(id: u64, class: usize, arrival_ns: u64, deadline_ns: u64) -> ClassedRequest {
+    ClassedRequest {
+        id,
+        class,
+        arrival_ns,
+        deadline_ns,
+    }
+}
+
+#[test]
+fn continuous_admission_interleaves_waves_and_arrivals() {
+    let mut q = ClassQueue::new(2, 8);
+    // Wave 1 forms from the first arrivals...
+    q.admit(creq(0, 1, 10, u64::MAX));
+    q.admit(creq(1, 0, 20, u64::MAX));
+    let w1: Vec<u64> = q.pop_wave(2).iter().map(|r| r.id).collect();
+    assert_eq!(w1, [1, 0]);
+    // ...and requests arriving "while it executes" join the next wave
+    // without waiting for a drain barrier.
+    q.admit(creq(2, 1, 30, u64::MAX));
+    q.admit(creq(3, 0, 35, u64::MAX));
+    q.admit(creq(4, 1, 40, u64::MAX));
+    let w2: Vec<u64> = q.pop_wave(8).iter().map(|r| r.id).collect();
+    assert_eq!(w2, [3, 2, 4]);
+    assert!(q.is_empty());
+}
+
+#[test]
+fn shedding_order_protects_premium_lanes_under_overload() {
+    let mut q = ClassQueue::new(3, 4);
+    // Fill with best-effort (class 2) work.
+    for id in 0..4 {
+        assert_eq!(q.admit(creq(id, 2, id * 10, u64::MAX)), Admission::Admitted);
+    }
+    // Premium arrivals displace best-effort work youngest-first, so the
+    // oldest best-effort requests keep their place the longest.
+    assert_eq!(
+        q.admit(creq(10, 0, 100, u64::MAX)),
+        Admission::Preempted(creq(3, 2, 30, u64::MAX))
+    );
+    assert_eq!(
+        q.admit(creq(11, 0, 110, u64::MAX)),
+        Admission::Preempted(creq(2, 2, 20, u64::MAX))
+    );
+    // A mid-tier arrival also preempts best-effort...
+    assert_eq!(
+        q.admit(creq(12, 1, 120, u64::MAX)),
+        Admission::Preempted(creq(1, 2, 10, u64::MAX))
+    );
+    // ...but best-effort arrivals can never displace anyone.
+    assert_eq!(
+        q.admit(creq(13, 2, 130, u64::MAX)),
+        Admission::Shed(creq(13, 2, 130, u64::MAX))
+    );
+    assert_eq!(q.shed_count(), 4);
+    // Waves still serve premium-first.
+    let order: Vec<u64> = q.pop_wave(8).iter().map(|r| r.id).collect();
+    assert_eq!(order, [10, 11, 12, 0]);
+}
+
+#[test]
+fn deadline_expiry_runs_between_waves() {
+    let mut q = ClassQueue::new(2, 8);
+    q.admit(creq(0, 0, 0, 500));
+    q.admit(creq(1, 1, 10, 200));
+    q.admit(creq(2, 1, 20, u64::MAX));
+    // Nothing dead yet at t=100.
+    assert!(q.expire(100).is_empty());
+    // By t=300 request 1 has expired; it must never occupy a wave slot.
+    let dead: Vec<u64> = q.expire(300).iter().map(|r| r.id).collect();
+    assert_eq!(dead, [1]);
+    let wave: Vec<u64> = q.pop_wave(8).iter().map(|r| r.id).collect();
+    assert_eq!(wave, [0, 2]);
+    assert_eq!(q.expired_count(), 1);
+}
+
+/// One step of a randomized continuous-admission schedule.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Admit a request of this class with this deadline slack (ns).
+    Admit { class: usize, slack: u64 },
+    /// Close a wave of up to this many requests.
+    PopWave(usize),
+    /// Advance time by this much and evict expired requests.
+    Expire(u64),
+}
+
+fn arb_op(num_classes: usize) -> impl Strategy<Value = Op> {
+    // Tagged tuple instead of `prop_oneof!` (not in the offline shim);
+    // admits are twice as likely so queues actually fill up.
+    (
+        0u32..4,
+        0..num_classes,
+        1_000u64..2_000_000,
+        1usize..12,
+        10_000u64..600_000,
+    )
+        .prop_map(|(kind, class, slack, n, dt)| match kind {
+            0 | 1 => Op::Admit { class, slack },
+            2 => Op::PopWave(n),
+            _ => Op::Expire(dt),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conservation under continuous admission: every admitted request
+    /// ends up in exactly one of {executed, expired, preempted, still
+    /// queued} — none lost, none double-executed — and the counters
+    /// agree with the observed outcomes.
+    #[test]
+    fn no_admitted_request_is_lost_or_double_executed(
+        ops in prop::collection::vec(arb_op(3), 1..200),
+        capacity in 1usize..24,
+    ) {
+        let mut q = ClassQueue::new(3, capacity);
+        let mut now = 0u64;
+        let mut next_id = 0u64;
+        let mut admitted = BTreeSet::new();
+        let mut executed = BTreeSet::new();
+        let mut expired = BTreeSet::new();
+        let mut preempted = BTreeSet::new();
+        let mut shed_on_arrival = 0usize;
+
+        for op in &ops {
+            match *op {
+                Op::Admit { class, slack } => {
+                    now += 1;
+                    let r = creq(next_id, class, now, now + slack);
+                    next_id += 1;
+                    match q.admit(r) {
+                        Admission::Admitted => {
+                            prop_assert!(admitted.insert(r.id));
+                        }
+                        Admission::Preempted(victim) => {
+                            prop_assert!(admitted.insert(r.id));
+                            prop_assert!(
+                                admitted.contains(&victim.id),
+                                "preempted a request that was never admitted"
+                            );
+                            prop_assert!(victim.class > r.class);
+                            prop_assert!(preempted.insert(victim.id));
+                        }
+                        Admission::Shed(back) => {
+                            prop_assert_eq!(back.id, r.id);
+                            shed_on_arrival += 1;
+                        }
+                    }
+                }
+                Op::PopWave(n) => {
+                    for r in q.pop_wave(n) {
+                        prop_assert!(admitted.contains(&r.id), "executed unadmitted request");
+                        prop_assert!(r.deadline_ns > now, "executed an expired request");
+                        prop_assert!(executed.insert(r.id), "double-executed request {}", r.id);
+                    }
+                }
+                Op::Expire(dt) => {
+                    now += dt;
+                    for r in q.expire(now) {
+                        prop_assert!(r.deadline_ns <= now);
+                        prop_assert!(expired.insert(r.id), "double-expired request {}", r.id);
+                    }
+                }
+            }
+        }
+
+        // Drain whatever is still queued; it must be exactly the admitted
+        // requests with no other recorded fate.
+        let queued: BTreeSet<u64> = q.pop_wave(usize::MAX).iter().map(|r| r.id).collect();
+
+        // The four fates are disjoint...
+        prop_assert!(executed.is_disjoint(&expired));
+        prop_assert!(executed.is_disjoint(&preempted));
+        prop_assert!(executed.is_disjoint(&queued));
+        prop_assert!(expired.is_disjoint(&preempted));
+        prop_assert!(expired.is_disjoint(&queued));
+        prop_assert!(preempted.is_disjoint(&queued));
+        // ...and together cover every admitted request exactly.
+        let mut fates = BTreeSet::new();
+        fates.extend(&executed);
+        fates.extend(&expired);
+        fates.extend(&preempted);
+        fates.extend(&queued);
+        prop_assert_eq!(&fates, &admitted);
+        // Counter cross-checks.
+        prop_assert_eq!(q.shed_count(), preempted.len() + shed_on_arrival);
+        prop_assert_eq!(q.expired_count(), expired.len());
+    }
+}

@@ -69,6 +69,12 @@ pub const SERVE_PID: u32 = 1000;
 /// aggregate spans (one per all-reduce bucket).
 pub const COLLECTIVE_PID: u32 = 1001;
 
+/// Base Chrome-trace *process* id for the serving fleet: fleet-level
+/// control spans (routing, autoscaling) live at `FLEET_PID`, and replica
+/// `i`'s request lifecycle lane at `FLEET_PID + 1 + i` — one pid per
+/// replica, mirroring the per-device pid convention.
+pub const FLEET_PID: u32 = 1002;
+
 /// One side of a flow arrow: `(pid, tid, timestamp_ns)`.
 pub type FlowPoint = (u32, u64, u64);
 

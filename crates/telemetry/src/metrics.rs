@@ -154,6 +154,26 @@ impl MetricsRegistry {
         &self.histograms
     }
 
+    /// Merge another registry into this one: counters add, gauges take
+    /// the other's value (last write wins, matching
+    /// [`gauge_set`](MetricsRegistry::gauge_set)), histograms append
+    /// observations. Used to fold a subsystem's private registry (e.g.
+    /// the fleet's router gauges) into a run's exported telemetry.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, v) in &other.counters {
+            self.counter_add(name, *v);
+        }
+        for (name, v) in &other.gauges {
+            self.gauge_set(name, *v);
+        }
+        for (name, h) in &other.histograms {
+            let dst = self.histograms.entry(name.clone()).or_default();
+            for v in h.values() {
+                dst.record(*v);
+            }
+        }
+    }
+
     /// Plain-text snapshot: one line per metric, sorted within sorted
     /// sections, deterministic.
     pub fn snapshot(&self) -> String {
@@ -256,6 +276,26 @@ mod tests {
         assert_eq!(m.counter("never"), 0);
         assert_eq!(m.gauge("q.depth"), Some(7.0));
         assert_eq!(m.histogram("lat").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn merge_adds_counters_overwrites_gauges_appends_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("hits", 3);
+        a.gauge_set("depth", 1.0);
+        a.observe("lat", 10);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("hits", 2);
+        b.counter_add("misses", 1);
+        b.gauge_set("depth", 9.0);
+        b.observe("lat", 20);
+        b.observe("other", 5);
+        a.merge_from(&b);
+        assert_eq!(a.counter("hits"), 5);
+        assert_eq!(a.counter("misses"), 1);
+        assert_eq!(a.gauge("depth"), Some(9.0));
+        assert_eq!(a.histogram("lat").unwrap().values(), [10, 20]);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
     }
 
     #[test]

@@ -4,9 +4,12 @@
 # schedule-sanitizer smoke matrix (asserts zero diagnostics across
 # 4 nets x 3 dispatch modes under full happens-before checking), the
 # plan-replay smoke matrix (asserts replayed ExecPlan timelines are
-# identical to imperative dispatch for 4 nets x 3 modes), and the
-# telemetry trace smoke (emits Chrome traces for 4 nets x 3 modes plus a
-# multi-GPU overlap run, then round-trips every emitted file through the
+# identical to imperative dispatch for 4 nets x 3 modes), the fleet
+# smoke sweep (sanitized multi-replica serving: asserts JSQ >= RR on SLO
+# attainment, zero sanitizer reports, and an up-then-down autoscale run;
+# emits a fleet Chrome trace), and the telemetry trace smoke (emits
+# Chrome traces for 4 nets x 3 modes plus a multi-GPU overlap run, then
+# round-trips every emitted file — fleet trace included — through the
 # standalone validate-trace binary).
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -19,6 +22,7 @@ cargo run -p glp4nn-bench --release --bin reproduce -- serving --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- sanitize --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- replay --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- multi-gpu --smoke
+cargo run -p glp4nn-bench --release --bin reproduce -- fleet --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- trace --smoke
 cargo run -p telemetry --release --bin validate-trace -- target/telemetry/*.trace.json
 

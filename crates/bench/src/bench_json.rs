@@ -70,7 +70,39 @@ fn replay_events() -> u64 {
     kernels
 }
 
-/// Run all four smoke sweeps under the wall clock.
+/// Repeated conv-layer capture with plan reuse off, so every forward
+/// re-captures and re-verifies its schedule. `symbolic` chooses the
+/// certificate path; `!symbolic` forces the O(chunks²) pairwise baseline.
+/// Returns the number of chunks verified (identical for both arms, so
+/// `events_per_s` directly compares capture-time verification cost).
+fn capture_events(symbolic: bool) -> u64 {
+    const REPS: usize = 4;
+    let mut ctx = ExecCtx::with_mode(DeviceProps::p100(), DispatchMode::FixedStreams(8))
+        .timing_only()
+        .sanitize(sanitizer::SanitizeMode::PlanOnly)
+        .without_plan_reuse();
+    ctx.sanitizer.set_force_pairwise(!symbolic);
+    let mut chunks = 0u64;
+    for w in crate::table5_workloads() {
+        for _ in 0..REPS {
+            crate::run_conv_forward(&mut ctx, &w);
+            chunks += w.batch as u64;
+        }
+    }
+    let stats = ctx.sanitizer.stats();
+    if symbolic {
+        assert_eq!(
+            stats.symbolic_chunks, chunks,
+            "every capture must be admitted by its certificate"
+        );
+    } else {
+        assert_eq!(stats.symbolic_chunks, 0, "baseline arm must stay pairwise");
+        assert!(stats.chunk_pairs > 0);
+    }
+    chunks
+}
+
+/// Run all the smoke sweeps under the wall clock.
 pub fn run_benches() -> Vec<BenchEntry> {
     let mut entries = Vec::new();
 
@@ -113,6 +145,32 @@ pub fn run_benches() -> Vec<BenchEntry> {
         name: "fleet-smoke",
         unit: "simulated requests",
         events: offered,
+        wall_s,
+    });
+
+    // Capture-time verification: symbolic certificates vs the pairwise
+    // baseline over identical work, so the events/s ratio is the speedup.
+    let (chunks, wall_s) = timed(|| capture_events(true));
+    entries.push(BenchEntry {
+        name: "capture-symbolic",
+        unit: "verified chunks",
+        events: chunks,
+        wall_s,
+    });
+    let (chunks, wall_s) = timed(|| capture_events(false));
+    entries.push(BenchEntry {
+        name: "capture-pairwise",
+        unit: "verified chunks",
+        events: chunks,
+        wall_s,
+    });
+
+    let (rows, wall_s) = timed(|| crate::lint::lint_sweep(true));
+    let nodes: u64 = rows.iter().map(|r| r.nodes).sum();
+    entries.push(BenchEntry {
+        name: "lint-smoke",
+        unit: "linted plan nodes",
+        events: nodes,
         wall_s,
     });
 

@@ -22,6 +22,7 @@
 //!   serving  inference serving with dynamic batching  [--smoke]
 //!   fleet    multi-replica serving fleet: routing x fabric x priority mix  [--smoke]
 //!   sanitize stream-schedule sanitizer over 4 nets x 3 dispatch modes  [--smoke]
+//!   lint     plan linter: symbolic certificates + performance lints, 4 nets x 3 modes  [--smoke]
 //!   multi-gpu data-parallel scaling: replicas x interconnect x overlap  [--smoke]
 //!   trace    Chrome-trace export: 4 nets x 3 modes + multi-GPU overlap  [--smoke]
 //!   bench-json  write BENCH_fleet.json (events/s + wall time, 4 smoke sweeps)
@@ -730,6 +731,34 @@ fn sanitize(smoke: bool) {
     println!("\nsanitize: every schedule clean — chunk regions disjoint, all conflicts ordered");
 }
 
+fn lint_cmd(smoke: bool) {
+    println!("== Lint: symbolic disjointness certificates + plan lints, 4 nets x 3 modes ==");
+    println!("(PLxxx = correctness, must be zero; PWxxx = performance findings, expected to");
+    println!(" differ by mode: naive serializes independent chains, capture records spare events)");
+    let rows = glp4nn_bench::lint::lint_sweep(smoke);
+    glp4nn_bench::lint::print_table(&rows);
+    let bad = glp4nn_bench::lint::total_correctness(&rows);
+    if bad > 0 {
+        for r in &rows {
+            if r.correctness > 0 {
+                println!("\n-- {} / {} --\n{}", r.net, r.mode, r.errors_rendered);
+            }
+        }
+    }
+    assert_eq!(
+        bad, 0,
+        "linter found {bad} correctness finding(s) on shipped schedules"
+    );
+    let certified: u64 = rows.iter().map(|r| r.certified_captures).sum();
+    assert!(
+        certified > 0,
+        "no capture was admitted by a symbolic certificate"
+    );
+    println!(
+        "\nlint: zero correctness findings; {certified} captures admitted by symbolic certificates"
+    );
+}
+
 fn replay(smoke: bool) {
     println!("== Replay: capture-once / replay-many vs imperative dispatch, 4 nets x 3 modes ==");
     println!("(same training iterations twice: plan reuse on vs off; timelines must be identical)");
@@ -917,6 +946,7 @@ fn main() {
         "fleet" => fleet_cmd(smoke),
         "bench-json" => bench_json_cmd(),
         "sanitize" => sanitize(smoke),
+        "lint" => lint_cmd(smoke),
         "replay" => replay(smoke),
         "multi-gpu" => multi_gpu_cmd(smoke),
         "trace" => trace_cmd(smoke),
@@ -957,6 +987,8 @@ fn main() {
             println!();
             sanitize(smoke);
             println!();
+            lint_cmd(smoke);
+            println!();
             replay(smoke);
             println!();
             multi_gpu_cmd(smoke);
@@ -965,7 +997,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|fleet|bench-json|sanitize|replay|multi-gpu|trace|all> [--iters N] [--smoke]"
+                "usage: reproduce <table1|ablation|table3|table4|table5|fig2|fig3|fig4|fig7|fig8|fig9|fig10|table6|fig11|generations|serving|fleet|bench-json|sanitize|lint|replay|multi-gpu|trace|all> [--iters N] [--smoke]"
             );
             std::process::exit(2);
         }

@@ -7,6 +7,7 @@
 
 pub mod bench_json;
 pub mod fleet;
+pub mod lint;
 pub mod multi_gpu;
 pub mod serving;
 pub mod trace;

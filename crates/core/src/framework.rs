@@ -120,6 +120,17 @@ impl LayerKey {
         };
         format!("{}/{}/{}/c{}", self.net, self.layer, phase, self.chunks)
     }
+
+    /// Shape-independent dispatch-site key (`net/layer/phase`), used by
+    /// the sanitizer's symbolic-certificate cache: one disjointness proof
+    /// covers every chunk count the site is captured at.
+    pub fn site_key(&self) -> String {
+        let phase = match self.phase {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+        };
+        format!("{}/{}/{}", self.net, self.layer, phase)
+    }
 }
 
 /// How a layer execution was carried out.
@@ -288,6 +299,41 @@ impl Glp4nn {
                 &mut rt.analyzer,
                 &self.streams,
                 key,
+                make_groups,
+                sanitizer,
+            )
+            .map_err(Glp4nnError::from)
+    }
+
+    /// Like [`try_execute_with`](Self::try_execute_with), with an optional
+    /// symbolic access-set declaration: when the layer supplies a
+    /// [`sanitizer::SymGroupSpec`], capture-time chunk checking uses a
+    /// cached symbolic disjointness certificate (one proof per
+    /// `key.site_key()`) plus an O(chunks) conformance check instead of
+    /// O(chunks²) pairwise comparisons. `make_spec` is only called on a
+    /// plan-cache miss with a sanitizer attached.
+    pub fn try_execute_spec(
+        &mut self,
+        dev: &mut Device,
+        gpu: usize,
+        key: &LayerKey,
+        make_spec: impl FnOnce() -> Option<sanitizer::SymGroupSpec>,
+        make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
+        sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<ExecReport, Glp4nnError> {
+        let rt = self
+            .gpus
+            .get_mut(gpu)
+            .and_then(Option::as_mut)
+            .ok_or(Glp4nnError::DeviceNotRegistered { gpu })?;
+        rt.scheduler
+            .execute_spec(
+                dev,
+                &self.tracker,
+                &mut rt.analyzer,
+                &self.streams,
+                key,
+                make_spec,
                 make_groups,
                 sanitizer,
             )

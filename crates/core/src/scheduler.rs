@@ -187,6 +187,40 @@ impl RuntimeScheduler {
         streams: &StreamManager,
         key: &LayerKey,
         make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
+        sanitizer: Option<&mut Sanitizer>,
+    ) -> Result<ExecReport, StreamError> {
+        self.execute_spec(
+            dev,
+            tracker,
+            analyzer,
+            streams,
+            key,
+            || None,
+            make_groups,
+            sanitizer,
+        )
+    }
+
+    /// Like [`execute_with`](RuntimeScheduler::execute_with), with an
+    /// optional symbolic access-set declaration for the site. When the
+    /// layer supplies a [`sanitizer::SymGroupSpec`] and the sanitizer
+    /// holds (or derives) a `Proven` certificate for `key.site_key()`,
+    /// capture-time checking drops from O(chunks²) pairwise comparisons +
+    /// an O(kernels²) plan pair scan to an O(chunks) conformance check +
+    /// structural plan checks. Note the conformance check runs against the
+    /// *post-transform* groups: §6 fusion/reordering rewrites kernels, so
+    /// transformed schedules fail conformance and fall back to the
+    /// pairwise path by construction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn execute_spec(
+        &mut self,
+        dev: &mut Device,
+        tracker: &ResourceTracker,
+        analyzer: &mut KernelAnalyzer,
+        streams: &StreamManager,
+        key: &LayerKey,
+        make_spec: impl FnOnce() -> Option<sanitizer::SymGroupSpec>,
+        make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
         mut sanitizer: Option<&mut Sanitizer>,
     ) -> Result<ExecReport, StreamError> {
         // Replay path: the schedule was captured and validated before.
@@ -232,8 +266,14 @@ impl RuntimeScheduler {
                 },
             );
             if let Some(san) = sanitizer.as_deref_mut() {
-                san.check_chunks(&key_str, &groups);
-                plan.validate(san);
+                let certified = match make_spec() {
+                    Some(spec) => san.check_chunks_spec(&key_str, &key.site_key(), &spec, &groups),
+                    None => {
+                        san.check_chunks(&key_str, &groups);
+                        false
+                    }
+                };
+                plan.validate_certified(san, certified);
             }
             let plan = Arc::new(plan);
             analyzer.store_exec_plan(&self.plan_key(&key_str), Arc::clone(&plan));
@@ -257,7 +297,12 @@ impl RuntimeScheduler {
         if let Some(san) = sanitizer.as_deref_mut() {
             // Chunks must be disjoint whatever the dispatch; the serial
             // profiling plan itself is trivially race-free.
-            san.check_chunks(&key_str, &groups);
+            match make_spec() {
+                Some(spec) => {
+                    san.check_chunks_spec(&key_str, &key.site_key(), &spec, &groups);
+                }
+                None => san.check_chunks(&key_str, &groups),
+            }
         }
         let profile_start = dev.now();
         tracker.ingest(self.gpu, dev.trace());

@@ -2,7 +2,7 @@
 
 use glp4nn::{ExecMode, ExecPlan, ExecReport, Glp4nn, LayerKey, Phase};
 use gpu_sim::{Device, DeviceProps, EventId, KernelDesc, SimTime, StreamId};
-use sanitizer::{SanitizeMode, Sanitizer};
+use sanitizer::{LintConfig, SanitizeMode, Sanitizer, SymGroupSpec};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -187,6 +187,22 @@ impl ExecCtx {
         self
     }
 
+    /// Attach the plan linter: every captured plan is additionally
+    /// analyzed for performance defects (redundant synchronization, false
+    /// serialization, unused events) and peak-memory bounds, with
+    /// findings accumulating in the sanitizer's
+    /// [`Linter`](sanitizer::Linter). Upgrades the sanitize mode to
+    /// `PlanOnly` if checking was off (linting rides on capture-time
+    /// validation).
+    pub fn lint(mut self) -> Self {
+        if !self.sanitizer.is_enabled() {
+            self.sanitizer = Sanitizer::new(SanitizeMode::PlanOnly);
+        }
+        let cfg = LintConfig::from_props(self.device.props());
+        self.sanitizer.attach_linter(cfg);
+        self
+    }
+
     /// Dispatch a layer's independent kernel groups according to the
     /// context's mode; blocks until the device drains (the inter-layer
     /// synchronization of the paper's §2.1) and records a timing entry.
@@ -213,10 +229,30 @@ impl ExecCtx {
         chunks: usize,
         make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
     ) -> ExecReport {
+        self.dispatch_groups_sym(layer, phase, chunks, || None, make_groups)
+    }
+
+    /// Like [`dispatch_groups_with`](ExecCtx::dispatch_groups_with), with
+    /// an optional symbolic declaration of the per-chunk access pattern.
+    /// When the layer supplies a [`SymGroupSpec`], capture-time chunk
+    /// checking uses a cached symbolic disjointness certificate (one
+    /// proof per `net/layer/phase` site) plus an O(chunks) conformance
+    /// check instead of O(chunks²) pairwise comparisons, and certified
+    /// plans skip the plan-level pair scan too. `make_spec` is only
+    /// called at capture with the sanitizer enabled; replays never touch
+    /// either closure.
+    pub fn dispatch_groups_sym(
+        &mut self,
+        layer: &str,
+        phase: Phase,
+        chunks: usize,
+        make_spec: impl FnOnce() -> Option<SymGroupSpec>,
+        make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
+    ) -> ExecReport {
         let report = match self.mode {
             DispatchMode::Naive => {
                 let pool = [self.device.default_stream()];
-                self.replay_or_capture(layer, phase, chunks, &pool, make_groups)
+                self.replay_or_capture(layer, phase, chunks, &pool, make_spec, make_groups)
             }
             DispatchMode::FixedStreams(n) => {
                 while self.fixed_pool.len() < n as usize {
@@ -224,7 +260,7 @@ impl ExecCtx {
                     self.fixed_pool.push(s);
                 }
                 let pool: Vec<StreamId> = self.fixed_pool[..n as usize].to_vec();
-                self.replay_or_capture(layer, phase, chunks, &pool, make_groups)
+                self.replay_or_capture(layer, phase, chunks, &pool, make_spec, make_groups)
             }
             DispatchMode::Glp4nn => {
                 debug_assert!(
@@ -248,8 +284,15 @@ impl ExecCtx {
                     .glp
                     .as_mut()
                     .expect("DispatchMode::Glp4nn requires an attached framework");
-                glp.try_execute_with(&mut self.device, self.gpu, &key, make_groups, san)
-                    .unwrap_or_else(|e| panic!("{e}"))
+                glp.try_execute_spec(
+                    &mut self.device,
+                    self.gpu,
+                    &key,
+                    make_spec,
+                    make_groups,
+                    san,
+                )
+                .unwrap_or_else(|e| panic!("{e}"))
             }
         };
         if self.sanitizer.is_full() && !self.deferred {
@@ -279,7 +322,7 @@ impl ExecCtx {
         kernels: Vec<KernelDesc>,
     ) -> ExecReport {
         let pool = [self.device.default_stream()];
-        let report = self.replay_or_capture(layer, phase, 1, &pool, move || vec![kernels]);
+        let report = self.replay_or_capture(layer, phase, 1, &pool, || None, move || vec![kernels]);
         if self.sanitizer.is_full() && !self.deferred {
             self.sanitizer.check_device(&self.device);
         }
@@ -308,6 +351,17 @@ impl ExecCtx {
         )
     }
 
+    /// Shape-independent dispatch-site key (`net/layer/phase`) for the
+    /// symbolic-certificate cache: one disjointness proof covers every
+    /// batch size and chunk count the site is captured at.
+    fn site_key(&self, layer: &str, phase: Phase) -> String {
+        let phase = match phase {
+            Phase::Forward => "fwd",
+            Phase::Backward => "bwd",
+        };
+        format!("{}/{}/{}", self.net_name, layer, phase)
+    }
+
     /// The capture-once / replay-many core of the self-dispatched modes:
     /// on a cache hit the frozen plan replays (tight issue loop, no
     /// validation, no per-kernel allocation); on a miss the groups are
@@ -319,6 +373,7 @@ impl ExecCtx {
         phase: Phase,
         chunks: usize,
         pool: &[StreamId],
+        make_spec: impl FnOnce() -> Option<SymGroupSpec>,
         make_groups: impl FnOnce() -> Vec<Vec<KernelDesc>>,
     ) -> ExecReport {
         let key = self.plan_key(layer, phase, chunks, pool.len());
@@ -339,8 +394,33 @@ impl ExecCtx {
         };
         let plan = ExecPlan::capture_round_robin(&key, &groups, pool, mode);
         if self.sanitizer.is_enabled() {
-            self.sanitizer.check_chunks(layer, &groups);
-            plan.validate(&mut self.sanitizer);
+            // Wall time of capture-time verification (chunk check + plan
+            // validation + lint), surfaced as a telemetry counter.
+            // Observation only: the clock is read solely when a recorder
+            // is attached, so default runs stay wall-clock-free.
+            let t0 = self
+                .device
+                .telemetry()
+                .is_some()
+                .then(std::time::Instant::now);
+            let site = self.site_key(layer, phase);
+            let certified = match make_spec() {
+                Some(spec) => self
+                    .sanitizer
+                    .check_chunks_spec(&key, &site, &spec, &groups),
+                None => {
+                    self.sanitizer.check_chunks(layer, &groups);
+                    false
+                }
+            };
+            plan.validate_certified(&mut self.sanitizer, certified);
+            if let (Some(t0), Some(rec)) = (t0, self.device.telemetry()) {
+                let mut r = rec.lock().unwrap_or_else(|p| p.into_inner());
+                r.counter_add("sanitize.verify_ns", t0.elapsed().as_nanos() as u64);
+                if certified {
+                    r.counter_add("sanitize.certified_captures", 1);
+                }
+            }
         }
         self.captures += 1;
         self.tel_plan_event("plan.captures", "plan.capture", &key);

@@ -15,9 +15,10 @@
 use crate::exec::ExecCtx;
 use crate::layer::Layer;
 use crate::layers::kernels;
-use crate::layers::kernels::{full_range, sample_range};
+use crate::layers::kernels::{full_range, sample_range, sym_full, sym_sample};
 use glp4nn::Phase;
 use gpu_sim::BufferId;
+use sanitizer::{SymGroupSpec, SymKernel};
 use tensor::gemm::{sgemm, Transpose};
 use tensor::im2col::{col2im, im2col, ConvGeometry};
 use tensor::pool::num_workers;
@@ -198,6 +199,89 @@ impl ConvLayer {
         }
         g
     }
+
+    /// Symbolic (chunk-parametric) form of [`Self::forward_group`]: the
+    /// same kernel chain with every per-sample range written as an affine
+    /// function of the chunk index. The sanitizer proves disjointness of
+    /// this spec once per dispatch site and only conformance-checks each
+    /// captured instance against it.
+    fn symbolic_forward(&self) -> SymGroupSpec {
+        let in_r = sym_sample(self.ci * self.ih * self.iw);
+        let col_r = sym_sample(self.k_dim() * self.ohw());
+        let out_r = sym_sample(self.cfg.num_output * self.ohw());
+        let mut spec = SymGroupSpec::new();
+        if !self.is_1x1() {
+            spec = spec.kernel(
+                SymKernel::new("im2col")
+                    .reads(self.buf("in"), in_r)
+                    .writes(self.buf("col"), col_r),
+            );
+        }
+        let (gemm_src, gemm_src_r) = if self.is_1x1() {
+            (self.buf("in"), in_r)
+        } else {
+            (self.buf("col"), col_r)
+        };
+        spec.kernel(
+            SymKernel::new("sgemm")
+                .reads(self.buf("w"), sym_full(self.cfg.num_output * self.k_dim()))
+                .reads(gemm_src, gemm_src_r)
+                .writes(self.buf("out"), out_r),
+        )
+        .kernel(
+            SymKernel::new("gemmk")
+                .reads(self.buf("bias"), sym_full(self.cfg.num_output))
+                .reads(self.buf("out"), out_r)
+                .writes(self.buf("out"), out_r),
+        )
+    }
+
+    /// Symbolic form of [`Self::backward_group`].
+    fn symbolic_backward(&self) -> SymGroupSpec {
+        let co = self.cfg.num_output;
+        let k = self.k_dim();
+        let in_r = sym_sample(self.ci * self.ih * self.iw);
+        let col_r = sym_sample(k * self.ohw());
+        let dout_r = sym_sample(co * self.ohw());
+        let mut spec = SymGroupSpec::new();
+        if !self.is_1x1() {
+            spec = spec.kernel(
+                SymKernel::new("im2col")
+                    .reads(self.buf("in"), in_r)
+                    .writes(self.buf("col"), col_r),
+            );
+        }
+        let (col_src, col_src_r) = if self.is_1x1() {
+            (self.buf("in"), in_r)
+        } else {
+            (self.buf("col"), col_r)
+        };
+        spec = spec.kernel(
+            SymKernel::new("sgemm")
+                .reads(self.buf("dout"), dout_r)
+                .reads(col_src, col_src_r)
+                .writes(self.buf("dw.part"), sym_sample(co * k)),
+        );
+        let (dcol_dst, dcol_dst_r) = if self.is_1x1() {
+            (self.buf("din"), in_r)
+        } else {
+            (self.buf("dcol"), col_r)
+        };
+        spec = spec.kernel(
+            SymKernel::new("sgemm")
+                .reads(self.buf("w"), sym_full(co * k))
+                .reads(self.buf("dout"), dout_r)
+                .writes(dcol_dst, dcol_dst_r),
+        );
+        if !self.is_1x1() {
+            spec = spec.kernel(
+                SymKernel::new("col2im")
+                    .reads(self.buf("dcol"), col_r)
+                    .writes(self.buf("din"), in_r),
+            );
+        }
+        spec
+    }
 }
 
 impl Layer for ConvLayer {
@@ -234,9 +318,13 @@ impl Layer for ConvLayer {
         // Simulated-GPU dispatch: one dependent chain per sample. Lazy:
         // once the site's execution plan is cached, the groups are never
         // rebuilt — the frozen plan replays directly.
-        ctx.dispatch_groups_with(&self.name, Phase::Forward, n, || {
-            (0..n as u64).map(|i| self.forward_group(i)).collect()
-        });
+        ctx.dispatch_groups_sym(
+            &self.name,
+            Phase::Forward,
+            n,
+            || Some(self.symbolic_forward()),
+            || (0..n as u64).map(|i| self.forward_group(i)).collect(),
+        );
 
         if !ctx.compute {
             return;
@@ -292,9 +380,13 @@ impl Layer for ConvLayer {
         let t = top[0];
         let n = t.num();
 
-        ctx.dispatch_groups_with(&self.name, Phase::Backward, n, || {
-            (0..n as u64).map(|i| self.backward_group(i)).collect()
-        });
+        ctx.dispatch_groups_sym(
+            &self.name,
+            Phase::Backward,
+            n,
+            || Some(self.symbolic_backward()),
+            || (0..n as u64).map(|i| self.backward_group(i)).collect(),
+        );
 
         if !ctx.compute {
             return;
@@ -654,6 +746,48 @@ mod tests {
                 union_a.conflict_with(&union_b).is_none(),
                 "sample chains 0 and 1 must touch disjoint regions"
             );
+        }
+    }
+
+    #[test]
+    fn symbolic_specs_are_proven_and_match_built_groups() {
+        for cfg in [
+            // Full im2col path and the 1×1 fast path.
+            ConvConfig {
+                num_output: 4,
+                kernel: 3,
+                stride: 1,
+                pad: 1,
+            },
+            ConvConfig {
+                num_output: 3,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+            },
+        ] {
+            let mut l = ConvLayer::new("conv1", cfg, 1);
+            let bottom = Blob::nchw(3, 2, 8, 8);
+            let mut top = vec![Blob::empty()];
+            l.reshape(&[&bottom], &mut top);
+
+            for (spec, mk) in [
+                (
+                    l.symbolic_forward(),
+                    ConvLayer::forward_group as fn(&_, u64) -> _,
+                ),
+                (l.symbolic_backward(), ConvLayer::backward_group),
+            ] {
+                assert!(
+                    matches!(spec.prove(), sanitizer::SymVerdict::Proven { .. }),
+                    "conv spec must be affine-provable (k{})",
+                    cfg.kernel
+                );
+                for i in 0..3u64 {
+                    spec.conforms(&mk(&l, i), i)
+                        .expect("built group must match its symbolic spec");
+                }
+            }
         }
     }
 

@@ -28,6 +28,20 @@ pub fn full_range(elems: usize) -> ByteRange {
     ByteRange::span(0, elems as u64 * F32_BYTES)
 }
 
+/// Symbolic (chunk-parametric) form of [`sample_range`]: chunk `i` covers
+/// `[i·stride, (i+1)·stride)` bytes for every `i` — the declaration the
+/// sanitizer's prover turns into a once-per-site disjointness
+/// certificate.
+pub fn sym_sample(stride_elems: usize) -> sanitizer::SymRange {
+    let stride = stride_elems as u64 * F32_BYTES;
+    sanitizer::SymRange::per_chunk(0, stride, stride)
+}
+
+/// Symbolic form of [`full_range`]: every chunk touches the whole buffer.
+pub fn sym_full(elems: usize) -> sanitizer::SymRange {
+    sanitizer::SymRange::fixed(full_range(elems))
+}
+
 /// Annotate a whole-batch kernel with full-buffer accesses on the layer's
 /// named buffers: each entry is `(buffer suffix, element count)` and the
 /// buffer id is derived from `"{layer}/{suffix}"`. Used by layers whose

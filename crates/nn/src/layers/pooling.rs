@@ -87,17 +87,32 @@ impl Layer for PoolingLayer {
             // dispatch as convolutions. Each chunk declares its sample's
             // regions so the sanitizer can prove chunks disjoint.
             let kernel = self.kernel;
-            ctx.dispatch_groups_with(&self.name, Phase::Forward, n, || {
-                (0..n as u64)
-                    .map(|i| {
-                        vec![kernels::pool_kernel("pool", c * oh * ow, kernel)
-                            .with_tag(i)
-                            .reads(in_buf, sample_range(i, c * ih * iw))
-                            .writes(out_buf, sample_range(i, c * oh * ow))
-                            .writes(idx_buf, sample_range(i, c * oh * ow))]
-                    })
-                    .collect()
-            });
+            ctx.dispatch_groups_sym(
+                &self.name,
+                Phase::Forward,
+                n,
+                || {
+                    Some(
+                        sanitizer::SymGroupSpec::new().kernel(
+                            sanitizer::SymKernel::new("pool")
+                                .reads(in_buf, kernels::sym_sample(c * ih * iw))
+                                .writes(out_buf, kernels::sym_sample(c * oh * ow))
+                                .writes(idx_buf, kernels::sym_sample(c * oh * ow)),
+                        ),
+                    )
+                },
+                || {
+                    (0..n as u64)
+                        .map(|i| {
+                            vec![kernels::pool_kernel("pool", c * oh * ow, kernel)
+                                .with_tag(i)
+                                .reads(in_buf, sample_range(i, c * ih * iw))
+                                .writes(out_buf, sample_range(i, c * oh * ow))
+                                .writes(idx_buf, sample_range(i, c * oh * ow))]
+                        })
+                        .collect()
+                },
+            );
         } else {
             ctx.dispatch_single(
                 &self.name,

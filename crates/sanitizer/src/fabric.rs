@@ -436,7 +436,7 @@ mod tests {
                     (1, s1, mem("staging", range)),
                 ),
             )
-            .unwrap();
+            .expect("fully-connected fabric has a 0->1 link, so copy_p2p cannot fail");
             // The consumer either rides the gated stream (ordered after
             // the CopyDst marker) or a free stream (racy).
             let consumer_stream = if gate_consumer { s1 } else { free };
@@ -509,7 +509,7 @@ mod tests {
                 (1, s1, mem("dst", range)),
             ),
         )
-        .unwrap();
+        .expect("fully-connected fabric has a 0->1 link, so copy_p2p cannot fail");
         h[0].launch(
             other,
             kernel("overwrite").writes(BufferId::from_label("src"), range),

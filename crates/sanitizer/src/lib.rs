@@ -25,15 +25,24 @@
 //! The [`Sanitizer`] accumulates [`Diagnostic`]s across checks; a clean
 //! run keeps [`Sanitizer::reports`] empty.
 
+pub mod diag;
 pub mod fabric;
 pub mod hb;
+pub mod lint;
 pub mod plan;
 pub mod report;
+pub mod symbolic;
 
+pub use diag::{LintCode, LintDiag, Severity};
+pub use lint::{LintConfig, LintStats, Linter, PlanLintSummary};
 pub use plan::{DispatchPlan, PlanNode, PlanNodeRef};
 pub use report::{ConflictSite, Diagnostic, DiagnosticKind, KernelRef};
+pub use symbolic::{
+    SymAccess, SymAccessSet, SymConflict, SymGroupSpec, SymKernel, SymRange, SymVerdict,
+};
 
 use gpu_sim::{CmdRecord, Device, Fabric, KernelDesc};
+use std::collections::HashMap;
 
 /// How much checking the runtime should do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -63,6 +72,20 @@ pub struct SanitizerStats {
     pub trace_kernels: u64,
     /// Launch pairs compared by the dynamic checker.
     pub trace_pairs: u64,
+    /// Symbolic disjointness proofs run (one per dispatch site, cached).
+    pub symbolic_proofs: u64,
+    /// Chunks admitted by certificate conformance instead of pairwise
+    /// comparison.
+    pub symbolic_chunks: u64,
+    /// Captures fully admitted by a symbolic certificate (chunk pairwise
+    /// scan *and* plan pair scan skipped).
+    pub certified_captures: u64,
+    /// Concrete groups that failed certificate conformance (fell back to
+    /// pairwise checking).
+    pub conformance_misses: u64,
+    /// Capture checks that ran the pairwise path (no spec, unsupported
+    /// spec, conformance miss, or forced baseline).
+    pub pairwise_fallbacks: u64,
 }
 
 /// Accumulates checks and their diagnostics over a run.
@@ -76,6 +99,17 @@ pub struct Sanitizer {
     /// Per-device cursors for merged fabric replay ([`check_fabric`]
     /// (Sanitizer::check_fabric)); indexed by fabric device index.
     fabric_cursors: Vec<usize>,
+    /// When set, [`check_chunks_spec`](Sanitizer::check_chunks_spec)
+    /// ignores certificates and always runs the pairwise checker — the
+    /// baseline arm of the symbolic-vs-pairwise benchmark.
+    force_pairwise: bool,
+    /// Cached symbolic verdicts, keyed by dispatch site
+    /// (`net/layer/phase`) and guarded by the exact spec they were proven
+    /// for: a site whose declaration changes (reshape, site collision) is
+    /// re-proven rather than inheriting a stale verdict.
+    certs: HashMap<String, (SymGroupSpec, SymVerdict)>,
+    /// Attached plan linter, if any.
+    linter: Option<Linter>,
 }
 
 impl Sanitizer {
@@ -157,6 +191,169 @@ impl Sanitizer {
         }
     }
 
+    /// Force the pairwise chunk checker even when a symbolic certificate
+    /// is available — the baseline arm of capture-time benchmarks.
+    pub fn set_force_pairwise(&mut self, force: bool) {
+        self.force_pairwise = force;
+    }
+
+    /// Attach a plan linter; captured plans are linted as they are
+    /// validated and symbolic findings (PL002/PL004) are mirrored into it.
+    pub fn attach_linter(&mut self, cfg: LintConfig) {
+        self.linter = Some(Linter::new(cfg));
+    }
+
+    /// The attached linter, if any.
+    pub fn linter(&self) -> Option<&Linter> {
+        self.linter.as_ref()
+    }
+
+    /// Mutable access to the attached linter, if any.
+    pub fn linter_mut(&mut self) -> Option<&mut Linter> {
+        self.linter.as_mut()
+    }
+
+    /// Certificate-backed chunk check. `site` keys the certificate cache
+    /// (conventionally `net/layer/phase` — shape- and mode-independent);
+    /// `spec` is the layer's symbolic declaration of the per-chunk kernel
+    /// chain; `groups` are the concrete chunks about to be dispatched.
+    ///
+    /// Returns `true` iff the capture is **certified**: the spec is
+    /// symbolically proven hazard-free for all shapes and every concrete
+    /// group conforms to it — in which case no pairwise comparison ran
+    /// and the caller may also skip the plan-level pair scan
+    /// ([`check_plan_ref_certified`](Sanitizer::check_plan_ref_certified)).
+    /// Any other outcome (refuted, unsupported, mismatch, forced
+    /// baseline) returns `false`; unsupported/mismatch fall back to
+    /// [`check_chunks`](Sanitizer::check_chunks), a refutation is
+    /// reported directly.
+    pub fn check_chunks_spec(
+        &mut self,
+        context: &str,
+        site: &str,
+        spec: &SymGroupSpec,
+        groups: &[Vec<KernelDesc>],
+    ) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        if self.force_pairwise {
+            self.stats.pairwise_fallbacks += 1;
+            self.check_chunks(context, groups);
+            return false;
+        }
+        let verdict = match self.certs.get(site) {
+            Some((cached_spec, v)) if cached_spec == spec => v.clone(),
+            _ => {
+                let v = spec.prove();
+                self.stats.symbolic_proofs += 1;
+                self.certs
+                    .insert(site.to_string(), (spec.clone(), v.clone()));
+                v
+            }
+        };
+        match verdict {
+            SymVerdict::Proven { .. } => {
+                for (i, g) in groups.iter().enumerate() {
+                    if let Err(why) = spec.conforms(g, i as u64) {
+                        self.stats.conformance_misses += 1;
+                        if let Some(l) = &mut self.linter {
+                            l.push(LintDiag {
+                                code: LintCode::SymbolicMismatch,
+                                plan: context.to_string(),
+                                node: None,
+                                message: format!(
+                                    "declaration for site `{site}` disagrees with the kernels \
+                                     actually built: {why}"
+                                ),
+                                notes: vec![
+                                    "certificate unusable; fell back to per-instance pairwise \
+                                     checking"
+                                        .to_string(),
+                                ],
+                            });
+                        }
+                        self.stats.pairwise_fallbacks += 1;
+                        self.check_chunks(context, groups);
+                        return false;
+                    }
+                }
+                self.stats.symbolic_chunks += groups.len() as u64;
+                self.stats.certified_captures += 1;
+                true
+            }
+            SymVerdict::Refuted(c) => {
+                let detail = format!(
+                    "symbolic refutation for site `{site}`: chunks {} and {} overlap on {} \
+                     over {} in every shape containing both",
+                    c.chunk_a, c.chunk_b, c.buffer, c.overlap
+                );
+                if let Some(l) = &mut self.linter {
+                    l.push(LintDiag {
+                        code: LintCode::OverlappingChunks,
+                        plan: context.to_string(),
+                        node: None,
+                        message: detail.clone(),
+                        notes: vec![],
+                    });
+                }
+                self.reports.push(Diagnostic {
+                    kind: DiagnosticKind::OverlappingChunkRegions,
+                    context: context.to_string(),
+                    first: None,
+                    second: None,
+                    site: Some(ConflictSite {
+                        buffer: c.buffer,
+                        overlap: c.overlap,
+                        hazard: c.hazard,
+                    }),
+                    detail,
+                });
+                false
+            }
+            SymVerdict::Unsupported { detail } => {
+                if let Some(l) = &mut self.linter {
+                    l.push(LintDiag {
+                        code: LintCode::SymbolicMismatch,
+                        plan: context.to_string(),
+                        node: None,
+                        message: format!("site `{site}` is outside the affine fragment: {detail}"),
+                        notes: vec!["fell back to per-instance pairwise checking".to_string()],
+                    });
+                }
+                self.stats.pairwise_fallbacks += 1;
+                self.check_chunks(context, groups);
+                false
+            }
+        }
+    }
+
+    /// Structure-only plan check (dangling deps, wait cycles) for
+    /// captures admitted by a symbolic certificate: hazard-freedom is
+    /// already proven, so the O(n²) pair scan of
+    /// [`check_plan_ref`](Sanitizer::check_plan_ref) is skipped.
+    pub fn check_plan_ref_certified(&mut self, label: &str, nodes: &[PlanNodeRef<'_>]) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.stats.plans_checked += 1;
+        plan::check_nodes(label, nodes, &mut self.reports, false);
+    }
+
+    /// Lint a captured plan through the attached linter, if any. Returns
+    /// the per-plan finding counts, or `None` when no linter is attached.
+    pub fn lint_plan_nodes(
+        &mut self,
+        label: &str,
+        nodes: &[PlanNodeRef<'_>],
+        records_events: bool,
+        hazards_proven: bool,
+    ) -> Option<PlanLintSummary> {
+        self.linter
+            .as_mut()
+            .map(|l| l.lint_plan(label, nodes, records_events, hazards_proven))
+    }
+
     /// Static check of a dispatch plan: out-of-range deps, event-wait
     /// cycles, and hazards not covered by declared deps or stream order.
     pub fn check_plan(&mut self, plan: &DispatchPlan) {
@@ -176,7 +373,7 @@ impl Sanitizer {
             return;
         }
         self.stats.plans_checked += 1;
-        self.stats.plan_pairs += plan::check_nodes(label, nodes, &mut self.reports);
+        self.stats.plan_pairs += plan::check_nodes(label, nodes, &mut self.reports, true);
     }
 
     /// Static check of a kernel DAG (stream-agnostic): every pair of

@@ -150,7 +150,7 @@ impl DispatchPlan {
     /// and memory conflicts not covered by happens-before. Appends
     /// diagnostics to `out`; returns the number of kernel pairs compared.
     pub(crate) fn check(&self, out: &mut Vec<Diagnostic>) -> u64 {
-        check_nodes(&self.label, &self.node_refs(), out)
+        check_nodes(&self.label, &self.node_refs(), out, true)
     }
 }
 
@@ -168,7 +168,7 @@ fn kernel_ref(nodes: &[PlanNodeRef<'_>], i: usize) -> KernelRef {
 /// before `i` completes. Stream FIFO order contributes edges between
 /// issue-order neighbours on the same stream; declared deps contribute
 /// the rest (cross-stream ones become event waits at dispatch).
-fn hb_edges(nodes: &[PlanNodeRef<'_>]) -> Vec<Vec<usize>> {
+pub(crate) fn hb_edges(nodes: &[PlanNodeRef<'_>]) -> Vec<Vec<usize>> {
     let n = nodes.len();
     let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut last_on_stream: std::collections::HashMap<usize, usize> =
@@ -190,11 +190,15 @@ fn hb_edges(nodes: &[PlanNodeRef<'_>]) -> Vec<Vec<usize>> {
 /// Check an issue-ordered schedule given as borrowed node views:
 /// out-of-range deps, event-wait cycles (deadlock), and memory conflicts
 /// not covered by happens-before. Appends diagnostics to `out`; returns
-/// the number of kernel pairs compared.
+/// the number of kernel pairs compared. With `scan_pairs` false only the
+/// structural checks run (dangling deps, wait cycles) — the caller holds
+/// a symbolic certificate that already proves hazard-freedom, so the
+/// O(n²) conflict scan would re-derive a known fact.
 pub(crate) fn check_nodes(
     label: &str,
     nodes: &[PlanNodeRef<'_>],
     out: &mut Vec<Diagnostic>,
+    scan_pairs: bool,
 ) -> u64 {
     let n = nodes.len();
     for (i, node) in nodes.iter().enumerate() {
@@ -258,6 +262,9 @@ pub(crate) fn check_nodes(
             ),
         });
         // Conflict analysis below needs an acyclic HB relation.
+        return 0;
+    }
+    if !scan_pairs {
         return 0;
     }
 

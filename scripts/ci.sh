@@ -3,6 +3,9 @@
 # sweep (deterministic; asserts GLP4NN throughput >= naive), the
 # schedule-sanitizer smoke matrix (asserts zero diagnostics across
 # 4 nets x 3 dispatch modes under full happens-before checking), the
+# plan-linter smoke matrix (symbolic disjointness certificates plus
+# performance lints; asserts zero correctness findings and at least one
+# certified capture), the
 # plan-replay smoke matrix (asserts replayed ExecPlan timelines are
 # identical to imperative dispatch for 4 nets x 3 modes), the fleet
 # smoke sweep (sanitized multi-replica serving: asserts JSQ >= RR on SLO
@@ -20,6 +23,7 @@ cargo build --workspace --release
 cargo test --workspace -q
 cargo run -p glp4nn-bench --release --bin reproduce -- serving --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- sanitize --smoke
+cargo run -p glp4nn-bench --release --bin reproduce -- lint --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- replay --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- multi-gpu --smoke
 cargo run -p glp4nn-bench --release --bin reproduce -- fleet --smoke
